@@ -1,0 +1,307 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--nodes 1,2,5,10] [--csv DIR] [--svg DIR] [-v]
+//!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
+//! ```
+//!
+//! Each figure prints one row per curve and one column per node count
+//! with the figure's metric (mean response time in ms; TPS/node at 80%
+//! CPU for Fig. 4.6; normalized response for Fig. 4.7). `--verbose`
+//! additionally prints the full per-run reports; `--csv DIR` writes
+//! every report field per figure; `--svg DIR` draws each figure.
+
+use dbshare_bench::chart::Chart;
+use dbshare_sim::experiments::{self, RunLength, Series};
+use dbshare_sim::RunReport;
+
+/// Which metric a figure plots.
+#[derive(Clone, Copy)]
+enum Metric {
+    MeanResponse,
+    TpsAt80,
+    NormResponse,
+}
+
+impl Metric {
+    fn label(self) -> &'static str {
+        match self {
+            Metric::MeanResponse => "mean response time [ms]",
+            Metric::TpsAt80 => "TPS per node at 80% CPU",
+            Metric::NormResponse => "normalized response time [ms]",
+        }
+    }
+    fn of(self, r: &RunReport) -> f64 {
+        match self {
+            Metric::MeanResponse => r.mean_response_ms,
+            Metric::TpsAt80 => r.tps_per_node_at_80pct_cpu,
+            Metric::NormResponse => r.norm_response_ms,
+        }
+    }
+}
+
+/// One reproducible figure: its id, title, metric, node list, and the
+/// preset that generates its series.
+struct Figure {
+    name: &'static str,
+    title: &'static str,
+    metric: Metric,
+    trace_nodes: bool,
+    run: fn(&[u16], RunLength) -> Vec<Series>,
+}
+
+const FIGURES: &[Figure] = &[
+    Figure {
+        name: "fig41",
+        title: "Fig. 4.1  GEM locking: workload allocation x update strategy (buffer 200)",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::fig41,
+    },
+    Figure {
+        name: "fig42",
+        title: "Fig. 4.2  buffer size 200 vs 1000 (random routing, GEM locking)",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::fig42,
+    },
+    Figure {
+        name: "fig43",
+        title: "Fig. 4.3  BRANCH/TELLER allocation disk vs GEM (buffer 1000)",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::fig43,
+    },
+    Figure {
+        name: "fig44",
+        title: "Fig. 4.4  disk caches for BRANCH/TELLER (FORCE, buffer 1000)",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::fig44,
+    },
+    Figure {
+        name: "fig45",
+        title: "Fig. 4.5  PCL vs GEM locking",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::fig45,
+    },
+    Figure {
+        name: "fig46",
+        title: "Fig. 4.6  throughput per node at 80% CPU utilization (buffer 1000)",
+        metric: Metric::TpsAt80,
+        trace_nodes: false,
+        run: experiments::fig46,
+    },
+    Figure {
+        name: "lockengine",
+        title: "S5   GEM locking vs central lock engine [Yu87] (random routing, buffer 200)",
+        metric: Metric::MeanResponse,
+        trace_nodes: false,
+        run: experiments::lock_engine_comparison,
+    },
+    Figure {
+        name: "fig47",
+        title: "Fig. 4.7  PCL vs GEM locking, real-life (synthetic trace) workload",
+        metric: Metric::NormResponse,
+        trace_nodes: true,
+        run: experiments::fig47,
+    },
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_nodes(s: &str) -> Vec<u16> {
+    let nodes: Vec<u16> = s
+        .split(',')
+        .map(|x| match x.trim().parse::<u16>() {
+            Ok(0) => fail("node counts must be >= 1"),
+            Ok(n) => n,
+            Err(_) => fail(&format!("--nodes takes a comma-separated list of integers, got {x:?}")),
+        })
+        .collect();
+    if nodes.is_empty() {
+        fail("--nodes needs at least one node count");
+    }
+    nodes
+}
+
+fn arg_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i)
+        .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+}
+
+fn print_series(fig: &Figure, series: &[Series]) {
+    println!("\n=== {} ===  (metric: {})", fig.title, fig.metric.label());
+    let nodes: Vec<u16> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(n, _)| n).collect())
+        .unwrap_or_default();
+    print!("{:<38}", "curve \\ nodes");
+    for n in &nodes {
+        print!("{n:>9}");
+    }
+    println!();
+    for s in series {
+        print!("{:<38}", s.label);
+        for (_, r) in &s.points {
+            print!("{:>9.1}", fig.metric.of(r));
+        }
+        println!();
+    }
+}
+
+fn write_svg(dir: &str, fig: &Figure, series: &[Series]) {
+    let mut chart = Chart::new(fig.title, "nodes", fig.metric.label());
+    for s in series {
+        chart.add_series(
+            &s.label,
+            s.points
+                .iter()
+                .map(|(n, r)| (*n as f64, fig.metric.of(r)))
+                .collect(),
+        );
+    }
+    let path = format!("{dir}/{}.svg", fig.name);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, chart.render(860, 480))) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}
+
+fn write_csv(dir: &str, name: &str, series: &[Series]) {
+    let mut out = String::from(
+        "curve,nodes,mean_response_ms,ci95_ms,p50_ms,p95_ms,norm_response_ms,\
+         throughput_tps,tps_per_node_at_80pct_cpu,cpu_utilization,cpu_utilization_max,\
+         gem_utilization,lock_engine_utilization,network_utilization,\
+         messages_per_txn,page_requests_per_txn,page_req_delay_ms,\
+         lock_requests_per_txn,local_lock_fraction,lock_wait_ms,io_wait_ms,\
+         invalidations_per_txn,reads_per_txn,writes_per_txn,evict_writes_per_txn,\
+         deadlock_aborts,timeout_aborts\n",
+    );
+    for s in series {
+        for (n, r) in &s.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                s.label.replace(',', ";"),
+                n,
+                r.mean_response_ms,
+                r.response_ci95_ms.unwrap_or(f64::NAN),
+                r.p50_response_ms,
+                r.p95_response_ms,
+                r.norm_response_ms,
+                r.throughput_tps,
+                r.tps_per_node_at_80pct_cpu,
+                r.cpu_utilization,
+                r.cpu_utilization_max,
+                r.gem_utilization,
+                r.lock_engine_utilization,
+                r.network_utilization,
+                r.messages_per_txn,
+                r.page_requests_per_txn,
+                r.page_req_delay_ms,
+                r.lock_requests_per_txn,
+                r.local_lock_fraction.unwrap_or(f64::NAN),
+                r.lock_wait_ms,
+                r.io_wait_ms,
+                r.invalidations_per_txn,
+                r.reads_per_txn,
+                r.writes_per_txn,
+                r.evict_writes_per_txn,
+                r.deadlock_aborts,
+                r.timeout_aborts,
+            ));
+        }
+    }
+    let path = format!("{dir}/{name}.csv");
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, out)) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}
+
+fn print_details(series: &[Series]) {
+    for s in series {
+        for (n, r) in &s.points {
+            println!("[{} N={}]\n{}", s.label, n, r);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut run = RunLength::full();
+    let mut nodes: Option<Vec<u16>> = None;
+    let mut which: Vec<String> = Vec::new();
+    let mut verbose = false;
+    let mut csv: Option<String> = None;
+    let mut svg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => run = RunLength::quick(),
+            "--verbose" | "-v" => verbose = true,
+            "--nodes" => {
+                i += 1;
+                nodes = Some(parse_nodes(arg_value(&args, i, "--nodes")));
+            }
+            "--csv" => {
+                i += 1;
+                csv = Some(arg_value(&args, i, "--csv").to_string());
+            }
+            "--svg" => {
+                i += 1;
+                svg = Some(arg_value(&args, i, "--svg").to_string());
+            }
+            other if other.starts_with('-') => {
+                fail(&format!("unknown flag {other:?} (try --quick, --nodes, --csv, --svg, -v)"))
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    // Reject unknown figure names instead of silently doing nothing.
+    let known: Vec<&str> = std::iter::once("table41")
+        .chain(std::iter::once("all"))
+        .chain(FIGURES.iter().map(|f| f.name))
+        .collect();
+    for w in &which {
+        if !known.contains(&w.as_str()) {
+            fail(&format!("unknown figure {w:?}; valid: {}", known.join(", ")));
+        }
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    let dc_nodes = nodes
+        .clone()
+        .unwrap_or_else(|| vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    let tr_nodes = nodes.unwrap_or_else(|| vec![1, 2, 4, 6, 8]);
+
+    if want("table41") {
+        println!("{}", experiments::table41());
+    }
+    for fig in FIGURES {
+        if !want(fig.name) {
+            continue;
+        }
+        let node_list = if fig.trace_nodes { &tr_nodes } else { &dc_nodes };
+        let series = (fig.run)(node_list, run);
+        print_series(fig, &series);
+        if let Some(dir) = &csv {
+            write_csv(dir, fig.name, &series);
+        }
+        if let Some(dir) = &svg {
+            write_svg(dir, fig, &series);
+        }
+        if verbose {
+            print_details(&series);
+        }
+    }
+}

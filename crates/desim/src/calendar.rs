@@ -1,0 +1,207 @@
+//! The future event list.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the calendar: ordered by `(time, seq)` so that events
+/// scheduled earlier (in wall-clock order of `schedule` calls) at the
+/// same instant fire first. This FIFO tie-breaking is what makes runs
+/// deterministic regardless of heap internals.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future event list of a simulation run.
+///
+/// Events of type `E` are scheduled at absolute [`SimTime`]s and popped
+/// in non-decreasing time order. Ties are broken by insertion order.
+///
+/// ```rust
+/// use desim::{Calendar, SimTime};
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_millis(2), "second");
+/// cal.schedule(SimTime::from_millis(1), "first");
+/// assert_eq!(cal.pop(), Some((SimTime::from_millis(1), "first")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_millis(2), "second")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar positioned at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past of the last popped event — a
+    /// causality violation that would silently corrupt results.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The time of the most recently popped event (the current clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for diagnostics).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl<E> std::fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("total_scheduled", &self.scheduled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(5), 5);
+        cal.schedule(SimTime::from_millis(1), 1);
+        cal.schedule(SimTime::from_millis(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(7), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(1), "a");
+        let (t, _) = cal.pop().unwrap();
+        cal.schedule(t + crate::SimDuration::from_millis(1), "b");
+        cal.schedule(t, "same-time"); // same instant as current clock: allowed
+        assert_eq!(cal.pop().unwrap().1, "same-time");
+        assert_eq!(cal.pop().unwrap().1, "b");
+        assert!(cal.is_empty());
+        assert_eq!(cal.total_scheduled(), 3);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.peek_time(), None);
+        cal.schedule(SimTime::from_micros(9), ());
+        cal.schedule(SimTime::from_micros(4), ());
+        assert_eq!(cal.peek_time(), Some(SimTime::from_micros(4)));
+        assert_eq!(cal.len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Heavier-weight random distributions: Zipf sampling and alias tables.
+
+use crate::Rng;
+
+/// A Zipf(α) sampler over `{1, ..., n}` using Hörmann & Derflinger's
+/// rejection-inversion method (O(1) per sample, exact distribution).
+///
+/// Used by the synthetic trace generator to produce the "highly
+/// non-uniform" reference distribution the paper reports for its
+/// real-life workload (§4.6).
+///
+/// ```rust
+/// use desim::{Rng, dist::Zipf};
+/// let z = Zipf::new(1_000, 0.8);
+/// let mut rng = Rng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!((1..=1_000).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// 1 - alpha (the `q` exponent); 0 means alpha == 1 (log case).
+    q: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `{1..=n}` with skew `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha <= 0` or `alpha` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over empty range");
+        assert!(alpha > 0.0 && alpha.is_finite(), "bad alpha {alpha}");
+        let q = 1.0 - alpha;
+        let h_integral = |x: f64| -> f64 {
+            if q.abs() < 1e-12 {
+                x.ln()
+            } else {
+                ((q * x.ln()).exp() - 1.0) / q
+            }
+        };
+        let h_integral_inv = |x: f64| -> f64 {
+            if q.abs() < 1e-12 {
+                x.exp()
+            } else {
+                let t = (x * q).max(-1.0);
+                ((1.0 + t).ln() / q).exp()
+            }
+        };
+        let h = |x: f64| -> f64 { (-alpha * x.ln()).exp() };
+        let h_x1 = h_integral(1.5) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5);
+        let s = 2.0 - h_integral_inv(h_integral(2.5) - h(2.0));
+        Zipf { n, alpha, q, h_x1, h_n, s }
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        if self.q.abs() < 1e-12 {
+            x.ln()
+        } else {
+            ((self.q * x.ln()).exp() - 1.0) / self.q
+        }
+    }
+
+    fn h_integral_inv(&self, x: f64) -> f64 {
+        if self.q.abs() < 1e-12 {
+            x.exp()
+        } else {
+            let t = (x * self.q).max(-1.0);
+            ((1.0 + t).ln() / self.q).exp()
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (-self.alpha * x.ln()).exp()
+    }
+
+    /// Number of categories.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws a rank in `[1, n]`; rank 1 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let v = rng.next_f64();
+            let u = self.h_n + v * (self.h_x1 - self.h_n);
+            let x = self.h_integral_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h_integral(k + 0.5) - self.h(k) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// An alias table for O(1) sampling from a fixed discrete distribution
+/// with many categories (e.g., per-page reference probabilities).
+///
+/// ```rust
+/// use desim::{Rng, dist::Alias};
+/// let a = Alias::new(&[0.5, 0.25, 0.25]);
+/// let mut rng = Rng::seed_from_u64(2);
+/// assert!(a.sample(&mut rng) < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Alias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl Alias {
+    /// Builds the table from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table over empty distribution");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && total.is_finite(), "bad weight sum {total}");
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+        }
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Alias { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories (never constructible; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = Rng::seed_from_u64(3);
+        let mut first_decile = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = z.sample(&mut rng);
+            assert!((1..=10_000).contains(&x));
+            if x <= 1_000 {
+                first_decile += 1;
+            }
+        }
+        // Under Zipf(1.0) the first 10% of ranks receive far more than 10%
+        // of the mass (~75% for n=10^4).
+        assert!(first_decile > n * 6 / 10, "first decile {first_decile}");
+    }
+
+    #[test]
+    fn zipf_rank_one_most_frequent() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut counts = [0u32; 101];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max_idx = (1..=100).max_by_key(|&i| counts[i]).unwrap();
+        assert_eq!(max_idx, 1, "rank 1 should dominate, counts[1]={}", counts[1]);
+        assert!(counts[1] > counts[10] && counts[10] > counts[100]);
+    }
+
+    #[test]
+    fn zipf_matches_exact_pmf_small_n() {
+        // Compare empirical frequencies against the exact normalized
+        // Zipf pmf for a small n.
+        let n = 10u64;
+        let alpha = 1.2;
+        let z = Zipf::new(n, alpha);
+        let mut rng = Rng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize + 1];
+        let samples = 500_000;
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-alpha)).sum();
+        for k in 1..=n {
+            let expect = (k as f64).powf(-alpha) / norm * samples as f64;
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.05 + 50.0,
+                "k={k}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_n1_always_one() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let a = Alias::new(&[0.1, 0.2, 0.3, 0.4]);
+        let mut rng = Rng::seed_from_u64(6);
+        let mut counts = [0u32; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[a.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = (i + 1) as f64 * 0.1 * n as f64;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let a = Alias::new(&[42.0]);
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_handles_zero_weights() {
+        let a = Alias::new(&[0.0, 1.0, 0.0]);
+        let mut rng = Rng::seed_from_u64(8);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn alias_rejects_empty() {
+        let _ = Alias::new(&[]);
+    }
+}

@@ -1,0 +1,356 @@
+//! A generic O(1) LRU cache used by the storage and buffer-manager
+//! models (both the paper's disk caches and its database buffers are
+//! managed LRU, §3.2/§3.3).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity least-recently-used cache with O(1) lookup, insert
+/// and eviction (hash map + intrusive doubly-linked list over a slab).
+///
+/// ```rust
+/// use desim::lru::LruCache;
+/// let mut c = LruCache::new(2);
+/// assert_eq!(c.insert(1, "a"), None);
+/// assert_eq!(c.insert(2, "b"), None);
+/// c.get(&1);                                  // 1 becomes most recent
+/// let evicted = c.insert(3, "c");             // 2 is evicted
+/// assert_eq!(evicted, Some((2, "b")));
+/// assert!(c.contains(&1) && c.contains(&3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, u32>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU cache needs capacity >= 1");
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if `key` is cached (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: u32) {
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        self.slots[idx as usize].value.as_ref()
+    }
+
+    /// Looks up `key` mutably, marking it most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        self.slots[idx as usize].value.as_mut()
+    }
+
+    /// Looks up `key` *without* touching recency (for inspection).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.slots[idx as usize].value.as_ref()
+    }
+
+    /// Looks up `key` mutably *without* touching recency.
+    pub fn peek_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.slots[idx as usize].value.as_mut()
+    }
+
+    /// Inserts or updates `key`, marking it most recently used. If the
+    /// cache was full and a *different* key had to make room, the
+    /// evicted `(key, value)` pair is returned.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx as usize].value = Some(value);
+            self.touch(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            self.pop_lru_inner()
+        } else {
+            None
+        };
+        let idx = if let Some(i) = self.free.pop() {
+            let slot = &mut self.slots[i as usize];
+            slot.key = key.clone();
+            slot.value = Some(value);
+            i
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slots[idx as usize].value.take()
+    }
+
+    fn pop_lru_inner(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.slots[idx as usize].key.clone();
+        let value = self.slots[idx as usize].value.take();
+        self.map.remove(&key);
+        self.unlink(idx);
+        self.free.push(idx);
+        value.map(|v| (key, v))
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        self.pop_lru_inner()
+    }
+
+    /// Iterates from most to least recently used (O(n), for tests and
+    /// statistics).
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            while cur != NIL {
+                let s = &self.slots[cur as usize];
+                cur = s.next;
+                if let Some(v) = s.value.as_ref() {
+                    return Some((&s.key, v));
+                }
+            }
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_basics() {
+        let mut c = LruCache::new(3);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"z"), None);
+        assert!(c.contains(&"b"));
+        assert_eq!(c.capacity(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 'a');
+        c.insert(2, 'b');
+        c.get(&1);
+        let ev = c.insert(3, 'c');
+        assert_eq!(ev, Some((2, 'b')));
+        assert!(c.contains(&1) && c.contains(&3) && !c.contains(&2));
+    }
+
+    #[test]
+    fn update_existing_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 'a');
+        c.insert(2, 'b');
+        let ev = c.insert(1, 'x');
+        assert_eq!(ev, None);
+        assert_eq!(c.get(&1), Some(&'x'));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        *c.get_mut(&1).unwrap() += 5;
+        c.insert(3, 30); // evicts 2, not 1
+        assert_eq!(c.peek(&1), Some(&15));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 'a');
+        c.insert(2, 'b');
+        c.peek(&1);
+        c.peek_mut(&1);
+        let ev = c.insert(3, 'c');
+        assert_eq!(ev, Some((1, 'a'))); // 1 stayed LRU despite peeks
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 'a');
+        c.insert(2, 'b');
+        assert_eq!(c.remove(&1), Some('a'));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 1);
+        let ev = c.insert(3, 'c');
+        assert_eq!(ev, None); // room was available
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pop_lru_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 'a');
+        c.insert(2, 'b');
+        c.insert(3, 'c');
+        c.get(&1);
+        assert_eq!(c.pop_lru(), Some((2, 'b')));
+        assert_eq!(c.pop_lru(), Some((3, 'c')));
+        assert_eq!(c.pop_lru(), Some((1, 'a')));
+        assert_eq!(c.pop_lru(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1, ());
+        c.insert(2, ());
+        c.insert(3, ());
+        c.get(&2);
+        let order: Vec<i32> = c.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = LruCache::new(2);
+        for i in 0..100 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&99), Some(&990));
+        assert_eq!(c.peek(&98), Some(&980));
+        // slab did not grow beyond capacity (+1 transient)
+        assert!(c.slots.len() <= 3, "{}", c.slots.len());
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.insert(1, 'a'), None);
+        assert_eq!(c.insert(2, 'b'), Some((1, 'a')));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_remove_insert_consistency() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        c.remove(&2);
+        c.insert(10, 10);
+        c.insert(11, 11); // evicts 0 (LRU)
+        assert!(!c.contains(&0));
+        let keys: Vec<i32> = c.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![11, 10, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+}

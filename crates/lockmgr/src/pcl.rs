@@ -1,0 +1,409 @@
+//! Primary copy locking (loose coupling, \[Ra86\], §3.2).
+//!
+//! The database is logically partitioned; each node holds the *global
+//! lock authority* (GLA) for one partition. Requests against the local
+//! partition are processed without messages; others need a short
+//! message round trip to the authorized node.
+//!
+//! Coherency control is integrated: the GLA node tracks page sequence
+//! numbers, and under NOFORCE it also acts as the *owner* of its
+//! partition's pages — modified pages return to it with the lock
+//! release message, and current versions ship out with lock grant
+//! messages, so page transfers never cost extra messages.
+//!
+//! The *read optimization* (\[Ra86\]) is also implemented: the GLA can
+//! hand a node a **read authorization (RA)** for a page, after which
+//! that node processes further read locks on the page locally (it is
+//! guaranteed no writes have occurred, otherwise the RA would have been
+//! revoked). Write locks first revoke outstanding RAs with explicit
+//! revocation messages and wait for the acknowledgements.
+
+use crate::table::{LockMode, LockReply, LockTable};
+use dbshare_model::{NodeId, PageId, TxnId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Per-page state at the GLA node.
+#[derive(Debug, Clone, Default)]
+struct GlaPage {
+    seqno: u64,
+    /// Nodes holding a read authorization.
+    ra: BTreeSet<NodeId>,
+}
+
+/// Outcome of a lock request processed at a GLA node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlaOutcome {
+    /// Lock table outcome.
+    pub reply: LockReply,
+    /// Page sequence number at the GLA (for invalidation detection and
+    /// piggybacked page versions).
+    pub seqno: u64,
+    /// Whether a read authorization was granted to the requesting node
+    /// (read optimization enabled, read mode, granted).
+    pub ra_granted: bool,
+    /// Nodes whose read authorizations must be revoked before this
+    /// write lock may be granted to the requester. Empty for reads.
+    pub revoke: Vec<NodeId>,
+}
+
+/// Lock-authority state of one node: the lock table and page directory
+/// for its GLA partition.
+#[derive(Debug, Default)]
+pub struct GlaState {
+    table: LockTable,
+    pages: HashMap<PageId, GlaPage>,
+    local_requests: u64,
+    remote_requests: u64,
+}
+
+impl GlaState {
+    /// Creates an empty authority state.
+    pub fn new() -> Self {
+        GlaState::default()
+    }
+
+    /// Processes a lock request at this GLA node.
+    ///
+    /// `from` is the requesting node, `local` whether the request
+    /// originated on this node (statistics), and `read_optimization`
+    /// whether RAs are handed out / revoked.
+    pub fn request(
+        &mut self,
+        txn: TxnId,
+        from: NodeId,
+        page: PageId,
+        mode: LockMode,
+        local: bool,
+        read_optimization: bool,
+    ) -> GlaOutcome {
+        if local {
+            self.local_requests += 1;
+        } else {
+            self.remote_requests += 1;
+        }
+        let reply = self.table.request(txn, page, mode);
+        let entry = self.pages.entry(page).or_default();
+        let mut ra_granted = false;
+        let mut revoke = Vec::new();
+        match mode {
+            LockMode::Read => {
+                if read_optimization && reply != LockReply::Queued {
+                    entry.ra.insert(from);
+                    ra_granted = true;
+                }
+            }
+            LockMode::Write => {
+                // All RAs except the writer's own node become invalid.
+                revoke = entry.ra.iter().copied().filter(|&n| n != from).collect();
+                entry.ra.clear();
+                if read_optimization && reply != LockReply::Queued {
+                    // the writer's node may keep reading its own copy
+                    entry.ra.insert(from);
+                }
+            }
+        }
+        GlaOutcome {
+            reply,
+            seqno: entry.seqno,
+            ra_granted,
+            revoke,
+        }
+    }
+
+    /// Current sequence number of `page` at this authority.
+    pub fn seqno(&self, page: PageId) -> u64 {
+        self.pages.get(&page).map(|p| p.seqno).unwrap_or(0)
+    }
+
+    /// Records a read authorization handed out when a *queued* read
+    /// request is finally granted (immediate grants record it inside
+    /// [`request`](Self::request)).
+    pub fn grant_ra(&mut self, page: PageId, node: NodeId) {
+        self.pages.entry(page).or_default().ra.insert(node);
+    }
+
+    /// Records a committed modification of `page` (the new version has
+    /// arrived at / exists on the GLA node, which owns it under NOFORCE).
+    pub fn record_modification(&mut self, page: PageId) -> u64 {
+        let e = self.pages.entry(page).or_default();
+        e.seqno += 1;
+        e.seqno
+    }
+
+    /// Releases all locks of `txn` at this authority, returning newly
+    /// granted waiters as `(page, txn, mode)`.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(PageId, TxnId, LockMode)> {
+        self.table.release_all(txn)
+    }
+
+    /// Releases one lock (abort paths).
+    pub fn release(&mut self, txn: TxnId, page: PageId) -> Vec<(TxnId, LockMode)> {
+        self.table.release(txn, page)
+    }
+
+    /// Waits-for edges of this authority's lock table.
+    pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        self.table.waits_for_edges()
+    }
+
+    /// Current holders of `page` (diagnostics).
+    pub fn holders_of(&self, page: PageId) -> Vec<(TxnId, LockMode)> {
+        self.table.holders(page)
+    }
+
+    /// Queued waiters on `page` (diagnostics).
+    pub fn queue_len_of(&self, page: PageId) -> usize {
+        self.table.queue_len(page)
+    }
+
+    /// Every transaction holding or waiting for a lock at this
+    /// authority (crash handling: a failed GLA node's volatile lock
+    /// state is lost, so these transactions must abort).
+    pub fn all_txns(&self) -> Vec<TxnId> {
+        self.table.all_txns()
+    }
+
+    /// `(local, remote)` request counts.
+    pub fn request_counts(&self) -> (u64, u64) {
+        (self.local_requests, self.remote_requests)
+    }
+
+    /// Lock conflicts observed.
+    pub fn conflicts(&self) -> u64 {
+        self.table.conflicts()
+    }
+
+    /// True if no locks are held or queued.
+    pub fn is_quiescent(&self) -> bool {
+        self.table.is_quiescent()
+    }
+}
+
+/// What to do with a revocation received by a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevokeAction {
+    /// No local readers: acknowledge immediately.
+    AckNow,
+    /// Local readers still hold the page: the acknowledgement is sent
+    /// when the last one releases ([`RaTable::release`] returns `true`).
+    Deferred,
+}
+
+/// Per-node read-authorization table: which pages this node may grant
+/// read locks on locally, and which local transactions currently hold
+/// such locks.
+#[derive(Debug, Default)]
+pub struct RaTable {
+    entries: HashMap<PageId, RaEntry>,
+    local_grants: u64,
+}
+
+#[derive(Debug, Default)]
+struct RaEntry {
+    authorized: bool,
+    readers: HashSet<TxnId>,
+    revoke_pending: bool,
+}
+
+impl RaTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RaTable::default()
+    }
+
+    /// Records an authorization received from the GLA.
+    pub fn grant_authorization(&mut self, page: PageId) {
+        let e = self.entries.entry(page).or_default();
+        if !e.revoke_pending {
+            e.authorized = true;
+        }
+    }
+
+    /// Attempts to grant a read lock locally. Returns `true` (and
+    /// registers the reader) if the node holds a valid authorization.
+    /// The caller must additionally have a valid cached copy of the
+    /// page — without one the current version must be fetched from the
+    /// GLA anyway, so the request goes remote.
+    pub fn try_local_read(&mut self, txn: TxnId, page: PageId) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(e) if e.authorized && !e.revoke_pending => {
+                e.readers.insert(txn);
+                self.local_grants += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Processes a revocation from the GLA.
+    pub fn revoke(&mut self, page: PageId) -> RevokeAction {
+        let e = self.entries.entry(page).or_default();
+        e.authorized = false;
+        if e.readers.is_empty() {
+            e.revoke_pending = false;
+            RevokeAction::AckNow
+        } else {
+            e.revoke_pending = true;
+            RevokeAction::Deferred
+        }
+    }
+
+    /// Releases `txn`'s locally granted read lock on `page`. Returns
+    /// `true` if a deferred revocation can now be acknowledged.
+    pub fn release(&mut self, txn: TxnId, page: PageId) -> bool {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.readers.remove(&txn);
+            if e.revoke_pending && e.readers.is_empty() {
+                e.revoke_pending = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if this node currently holds an authorization for `page`.
+    pub fn is_authorized(&self, page: PageId) -> bool {
+        self.entries
+            .get(&page)
+            .map(|e| e.authorized && !e.revoke_pending)
+            .unwrap_or(false)
+    }
+
+    /// Read locks granted locally so far (statistics).
+    pub fn local_grants(&self) -> u64 {
+        self.local_grants
+    }
+
+    /// Local transactions currently holding locally granted read locks
+    /// on `page` (for distributed deadlock detection: a pending writer
+    /// waits for these).
+    pub fn readers(&self, page: PageId) -> Vec<TxnId> {
+        self.entries
+            .get(&page)
+            .map(|e| {
+                let mut v: Vec<TxnId> = e.readers.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_model::PartitionId;
+
+    fn page(n: u64) -> PageId {
+        PageId::new(PartitionId::new(0), n)
+    }
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+    fn node(n: u16) -> NodeId {
+        NodeId::new(n)
+    }
+
+    #[test]
+    fn grants_and_counts_local_remote() {
+        let mut gla = GlaState::new();
+        let r = gla.request(txn(1), node(0), page(1), LockMode::Read, true, false);
+        assert_eq!(r.reply, LockReply::Granted);
+        assert!(!r.ra_granted);
+        let r = gla.request(txn(2), node(1), page(1), LockMode::Read, false, false);
+        assert_eq!(r.reply, LockReply::Granted);
+        assert_eq!(gla.request_counts(), (1, 1));
+    }
+
+    #[test]
+    fn seqno_advances_on_modification() {
+        let mut gla = GlaState::new();
+        assert_eq!(gla.seqno(page(1)), 0);
+        assert_eq!(gla.record_modification(page(1)), 1);
+        assert_eq!(gla.record_modification(page(1)), 2);
+        let r = gla.request(txn(1), node(0), page(1), LockMode::Read, true, false);
+        assert_eq!(r.seqno, 2);
+    }
+
+    #[test]
+    fn read_optimization_grants_ra() {
+        let mut gla = GlaState::new();
+        let r = gla.request(txn(1), node(1), page(1), LockMode::Read, false, true);
+        assert!(r.ra_granted);
+        assert!(r.revoke.is_empty());
+    }
+
+    #[test]
+    fn write_revokes_other_ras() {
+        let mut gla = GlaState::new();
+        gla.request(txn(1), node(1), page(1), LockMode::Read, false, true);
+        gla.request(txn(2), node(2), page(1), LockMode::Read, false, true);
+        gla.release_all(txn(1));
+        gla.release_all(txn(2));
+        let r = gla.request(txn(3), node(1), page(1), LockMode::Write, false, true);
+        assert_eq!(r.reply, LockReply::Granted);
+        // node 1 is the writer: only node 2's RA is revoked
+        assert_eq!(r.revoke, vec![node(2)]);
+    }
+
+    #[test]
+    fn ra_table_local_read_lifecycle() {
+        let mut ra = RaTable::new();
+        assert!(!ra.try_local_read(txn(1), page(1)));
+        ra.grant_authorization(page(1));
+        assert!(ra.is_authorized(page(1)));
+        assert!(ra.try_local_read(txn(1), page(1)));
+        assert_eq!(ra.local_grants(), 1);
+        // release without pending revoke: nothing to ack
+        assert!(!ra.release(txn(1), page(1)));
+    }
+
+    #[test]
+    fn revoke_with_no_readers_acks_now() {
+        let mut ra = RaTable::new();
+        ra.grant_authorization(page(1));
+        assert_eq!(ra.revoke(page(1)), RevokeAction::AckNow);
+        assert!(!ra.is_authorized(page(1)));
+        assert!(!ra.try_local_read(txn(1), page(1)));
+    }
+
+    #[test]
+    fn revoke_with_readers_defers_ack_until_release() {
+        let mut ra = RaTable::new();
+        ra.grant_authorization(page(1));
+        assert!(ra.try_local_read(txn(1), page(1)));
+        assert!(ra.try_local_read(txn(2), page(1)));
+        assert_eq!(ra.revoke(page(1)), RevokeAction::Deferred);
+        // new local reads are refused while the revoke is pending
+        assert!(!ra.try_local_read(txn(3), page(1)));
+        assert!(!ra.release(txn(1), page(1))); // one reader left
+        assert!(ra.release(txn(2), page(1))); // last reader: ack now
+    }
+
+    #[test]
+    fn authorization_not_restored_while_revoke_pending() {
+        let mut ra = RaTable::new();
+        ra.grant_authorization(page(1));
+        ra.try_local_read(txn(1), page(1));
+        ra.revoke(page(1));
+        // a racing grant (in-flight before the revoke) must not
+        // resurrect the authorization
+        ra.grant_authorization(page(1));
+        assert!(!ra.is_authorized(page(1)));
+        ra.release(txn(1), page(1));
+        // after the ack the GLA may re-authorize
+        ra.grant_authorization(page(1));
+        assert!(ra.is_authorized(page(1)));
+    }
+
+    #[test]
+    fn queued_write_reports_queue_and_revokes() {
+        let mut gla = GlaState::new();
+        gla.request(txn(1), node(0), page(1), LockMode::Read, true, true);
+        let r = gla.request(txn(2), node(2), page(1), LockMode::Write, false, true);
+        assert_eq!(r.reply, LockReply::Queued);
+        assert_eq!(r.revoke, vec![node(0)]);
+        let granted = gla.release_all(txn(1));
+        assert_eq!(granted, vec![(page(1), txn(2), LockMode::Write)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dbshare-model — shared domain model
+//!
+//! Identifier newtypes, database-layout descriptions, transaction
+//! specifications, and the [`SystemConfig`] consumed by the simulator.
+//! All crates of the `dbshare` workspace communicate through the types
+//! defined here.
+//!
+//! The defaults in [`config`] mirror Table 4.1 of Rahm's ICDCS 1993
+//! paper (debit-credit parameter settings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod txn;
+
+pub mod config;
+pub mod gla;
+
+pub use config::{
+    CommConfig, CouplingMode, CpuConfig, CrashConfig, DiskConfig, GemConfig, LockEngineConfig, LogStorage, PageTransferMode,
+    PartitionConfig, RoutingStrategy, RunControl, StorageAllocation, SystemConfig,
+    UpdateStrategy,
+};
+pub use ids::{NodeId, PageId, PartitionId, TxnId, TxnTypeId};
+pub use txn::{AccessMode, PageRef, TxnSpec};

@@ -1,0 +1,94 @@
+//! Property-based tests of the shared model: GLA maps partition the
+//! page space deterministically and in balance; configuration
+//! validation accepts exactly the documented parameter space.
+
+use dbshare_model::gla::{GlaMap, PartitionGla};
+use dbshare_model::{PageId, PartitionConfig, PartitionId, StorageAllocation, SystemConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ranged_gla_is_total_deterministic_and_balanced(
+        nodes in 1u16..12,
+        units in 1u64..500,
+        unit_pages in 1u64..20,
+        probe in prop::collection::vec(0u64..10_000, 1..50),
+    ) {
+        let map = GlaMap::new(nodes, vec![PartitionGla::Ranged { units, unit_pages }]);
+        // total + deterministic
+        for &p in &probe {
+            let pg = PageId::new(PartitionId::new(0), p);
+            let a = map.gla_of(pg);
+            let b = map.gla_of(pg);
+            prop_assert_eq!(a, b);
+            prop_assert!(a.index() < nodes as usize);
+        }
+        // balance: unit counts per node differ by at most ceil(units/nodes)
+        let mut counts = vec![0u64; nodes as usize];
+        for u in 0..units {
+            counts[map.gla_of(PageId::new(PartitionId::new(0), u * unit_pages)).index()] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+        // monotone: unit -> node assignment never decreases
+        let mut last = 0usize;
+        for u in 0..units {
+            let n = map.gla_of(PageId::new(PartitionId::new(0), u * unit_pages)).index();
+            prop_assert!(n >= last, "assignment must be monotone");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn hashed_gla_is_total_and_roughly_uniform(nodes in 1u16..10) {
+        let map = GlaMap::new(nodes, vec![PartitionGla::Hashed]);
+        let mut counts = vec![0u64; nodes as usize];
+        let probes = 4_000u64;
+        for p in 0..probes {
+            counts[map.gla_of(PageId::new(PartitionId::new(0), p)).index()] += 1;
+        }
+        let expect = probes as f64 / nodes as f64;
+        for &c in &counts {
+            prop_assert!((c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
+                "skewed hash: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn validation_accepts_all_positive_configs(
+        nodes in 1u16..16,
+        tps in 1.0f64..500.0,
+        buffer in 1u64..5_000,
+        pages in 1u64..1_000_000,
+        disks in 1u32..64,
+    ) {
+        let mut cfg = SystemConfig::debit_credit(nodes);
+        cfg.arrival_tps_per_node = tps;
+        cfg.buffer_pages_per_node = buffer;
+        cfg.partitions.push(PartitionConfig {
+            name: "P".into(),
+            pages,
+            locking: true,
+            storage: StorageAllocation::disk(disks),
+        });
+        prop_assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn exec_and_wire_times_scale_linearly(instr in 1.0f64..1e7, bytes in 1u64..1_000_000) {
+        let cfg = SystemConfig::debit_credit(1);
+        let t1 = cfg.cpu.exec_time(instr);
+        let t2 = cfg.cpu.exec_time(instr * 2.0);
+        // within rounding of the nanosecond clock
+        let diff = (t2.as_nanos() as i128 - 2 * t1.as_nanos() as i128).abs();
+        prop_assert!(diff <= 2, "exec not linear: {t1:?} {t2:?}");
+
+        let w1 = cfg.comm.wire_time(bytes);
+        let w2 = cfg.comm.wire_time(bytes * 2);
+        let wdiff = (w2.as_nanos() as i128 - 2 * w1.as_nanos() as i128).abs();
+        prop_assert!(wdiff <= 2, "wire not linear");
+    }
+}

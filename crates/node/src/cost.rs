@@ -1,0 +1,107 @@
+//! The CPU cost model of a processing node (§3.2 / Table 4.1).
+//!
+//! The transaction manager requests CPU service at the beginning of a
+//! transaction, for every record access, and at the end of a
+//! transaction; each service's instruction count is exponentially
+//! distributed over a configured mean. I/O initiations and message
+//! sends/receives cost fixed instruction counts.
+
+use dbshare_model::config::CpuConfig;
+use desim::{Rng, SimDuration};
+
+/// Samples the instruction counts of transaction processing steps and
+/// converts them to per-processor service times.
+///
+/// ```rust
+/// use dbshare_node::cost::CostModel;
+/// use dbshare_model::config::CpuConfig;
+/// use desim::Rng;
+/// let mut rng = Rng::seed_from_u64(1);
+/// let m = CostModel::new(CpuConfig::default());
+/// let d = m.bot(&mut rng);
+/// assert!(d.as_secs_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cfg: CpuConfig,
+}
+
+impl CostModel {
+    /// Creates the model from the CPU configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        CostModel { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    fn exec(&self, instr: f64) -> SimDuration {
+        self.cfg.exec_time(instr)
+    }
+
+    /// Begin-of-transaction service (exponential mean `bot_instr`).
+    pub fn bot(&self, rng: &mut Rng) -> SimDuration {
+        self.exec(rng.exp(self.cfg.bot_instr))
+    }
+
+    /// One record access (exponential mean `per_access_instr`).
+    pub fn access(&self, rng: &mut Rng) -> SimDuration {
+        self.exec(rng.exp(self.cfg.per_access_instr))
+    }
+
+    /// End-of-transaction / commit service (exponential mean `eot_instr`).
+    pub fn eot(&self, rng: &mut Rng) -> SimDuration {
+        self.exec(rng.exp(self.cfg.eot_instr))
+    }
+
+    /// Fixed-cost service of `instr` instructions (I/O initiation,
+    /// message handling, lock processing).
+    pub fn fixed(&self, instr: f64) -> SimDuration {
+        self.exec(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_converge() {
+        let m = CostModel::new(CpuConfig::default());
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 50_000;
+        let mean_ms = (0..n).map(|_| m.bot(&mut rng).as_millis_f64()).sum::<f64>() / n as f64;
+        // 20k instructions at 10 MIPS = 2 ms
+        assert!((mean_ms - 2.0).abs() < 0.05, "{mean_ms}");
+    }
+
+    #[test]
+    fn fixed_costs_are_deterministic() {
+        let m = CostModel::new(CpuConfig::default());
+        // 5000 instructions at 10 MIPS = 0.5 ms (a short message)
+        assert_eq!(m.fixed(5_000.0), SimDuration::from_micros(500));
+        // 3000 instructions = 0.3 ms (a disk I/O)
+        assert_eq!(m.fixed(3_000.0), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn total_pathlength_expectation() {
+        // BOT + 4 accesses + EOT should average 250k instructions = 25 ms
+        // of single-CPU time at 10 MIPS.
+        let m = CostModel::new(CpuConfig::default());
+        let mut rng = Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += m.bot(&mut rng).as_millis_f64();
+            for _ in 0..4 {
+                total += m.access(&mut rng).as_millis_f64();
+            }
+            total += m.eot(&mut rng).as_millis_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 25.0).abs() < 0.25, "{mean}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the buffer manager: capacity is never
+//! exceeded, lookups agree with a reference model of page presence and
+//! versions, and dirty pages are never silently dropped.
+
+use dbshare_model::{PageId, PartitionId};
+use dbshare_node::buffer::{BufferManager, Lookup};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn page(p: u8) -> PageId {
+    PageId::new(PartitionId::new(0), p as u64)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup { page: u8, seqno: u8 },
+    Insert { page: u8, seqno: u8, dirty: bool },
+    MarkDirty { page: u8, seqno: u8 },
+    MarkClean { page: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..30, 0u8..8).prop_map(|(page, seqno)| Op::Lookup { page, seqno }),
+        (0u8..30, 0u8..8, any::<bool>())
+            .prop_map(|(page, seqno, dirty)| Op::Insert { page, seqno, dirty }),
+        (0u8..30, 0u8..8).prop_map(|(page, seqno)| Op::MarkDirty { page, seqno }),
+        (0u8..30).prop_map(|page| Op::MarkClean { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn buffer_agrees_with_reference_model(
+        cap in 1u64..16,
+        ops in prop::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut buf = BufferManager::new(cap, 1);
+        // model: page -> (seqno, dirty)
+        let mut model: HashMap<u8, (u8, bool)> = HashMap::new();
+        let mut dirty_evictions = 0u32;
+        let mut model_dirty_drops = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Lookup { page: p, seqno } => {
+                    let expect = match model.get(&p) {
+                        Some(&(s, _)) if s >= seqno => Lookup::Hit,
+                        Some(_) => Lookup::Invalidated,
+                        None => Lookup::Miss,
+                    };
+                    let got = buf.lookup(page(p), seqno as u64);
+                    prop_assert_eq!(got, expect, "lookup({}, {})", p, seqno);
+                    if got == Lookup::Invalidated {
+                        model.remove(&p); // obsolete copies are dropped
+                    }
+                }
+                Op::Insert { page: p, seqno, dirty } => {
+                    let evicted = buf.insert(page(p), seqno as u64, dirty);
+                    model.insert(p, (seqno, dirty));
+                    if let Some((ep, frame)) = evicted {
+                        prop_assert!(frame.dirty, "only dirty evictions surface");
+                        dirty_evictions += 1;
+                        let removed = model.remove(&(ep.number() as u8));
+                        prop_assert!(removed.is_some());
+                        model_dirty_drops += 1;
+                    } else if model.len() > cap as usize {
+                        // a clean page was evicted silently; drop the LRU
+                        // one from the model by syncing against the buffer
+                        model.retain(|&k, _| buf.cached_seqno(page(k)).is_some());
+                    }
+                }
+                Op::MarkDirty { page: p, seqno } => {
+                    let evicted = buf.mark_dirty(page(p), seqno as u64);
+                    model.insert(p, (seqno, true));
+                    if let Some((ep, frame)) = evicted {
+                        prop_assert!(frame.dirty);
+                        dirty_evictions += 1;
+                        model.remove(&(ep.number() as u8));
+                        model_dirty_drops += 1;
+                    } else {
+                        model.retain(|&k, _| buf.cached_seqno(page(k)).is_some());
+                    }
+                }
+                Op::MarkClean { page: p } => {
+                    buf.mark_clean(page(p));
+                    if let Some(e) = model.get_mut(&p) {
+                        e.1 = false;
+                    }
+                }
+            }
+            prop_assert!(buf.len() as u64 <= cap, "capacity exceeded");
+            prop_assert_eq!(dirty_evictions, model_dirty_drops);
+            // every model entry is present with the same seqno
+            for (&k, &(s, d)) in &model {
+                prop_assert_eq!(buf.cached_seqno(page(k)), Some(s as u64));
+                prop_assert_eq!(buf.is_dirty(page(k)), d, "dirty flag of {}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_ratio_is_consistent_with_counts(
+        lookups in prop::collection::vec((0u8..10, any::<bool>()), 1..120),
+    ) {
+        let mut buf = BufferManager::new(8, 1);
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for (p, insert_after) in lookups {
+            if buf.lookup(page(p), 0) == Lookup::Hit {
+                hits += 1;
+            }
+            total += 1;
+            if insert_after {
+                buf.insert(page(p), 0, false);
+            }
+        }
+        let c = buf.counters(0);
+        prop_assert_eq!(c.hits, hits);
+        prop_assert_eq!(c.hits + c.misses + c.invalidations, total);
+        let ratio = c.hit_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+}

@@ -1,0 +1,292 @@
+//! Event, continuation, and message types of the simulation engine.
+
+use dbshare_lockmgr::LockMode;
+use dbshare_model::{NodeId, PageId, TxnId, TxnSpec};
+use desim::{SimDuration, SimTime};
+
+/// A calendar event.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Next transaction arrives from the SOURCE.
+    Arrival,
+    /// A previously aborted transaction re-enters the system.
+    Restart {
+        /// Target node (unchanged across restarts).
+        node: NodeId,
+        /// The transaction program.
+        spec: TxnSpec,
+        /// Original arrival time (response time spans restarts).
+        arrival: SimTime,
+        /// Restart count.
+        restarts: u32,
+    },
+    /// A CPU service slice completed on `node`.
+    CpuDone {
+        /// The node whose CPU ran the job.
+        node: NodeId,
+        /// The job that finished its pure-CPU part.
+        job: Job,
+    },
+    /// A synchronous GEM access performed while holding a CPU finished.
+    GemHeldDone {
+        /// The node whose CPU was held.
+        node: NodeId,
+        /// Transaction for wait attribution, if any.
+        txn: Option<TxnId>,
+        /// What to do next.
+        cont: Cont,
+    },
+    /// An asynchronous storage operation completed.
+    IoDone {
+        /// What to do next.
+        cont: Cont,
+    },
+    /// A message finished its network transmission.
+    Delivered {
+        /// The message.
+        msg: Msg,
+    },
+    /// Periodic deadlock / timeout scan.
+    DeadlockScan,
+    /// Injected node failure.
+    NodeCrash {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// The crashed node finished log-based recovery and rejoins.
+    NodeRecovered {
+        /// The recovered node.
+        node: NodeId,
+    },
+}
+
+/// A unit of CPU work on one node. The job may end with synchronous GEM
+/// accesses (entry or page operations) that keep the CPU busy beyond
+/// the instruction execution itself.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Pure instruction-execution time.
+    pub service: SimDuration,
+    /// Synchronous GEM entry accesses performed at the end of the slice.
+    pub gem_entries: u32,
+    /// Synchronous GEM page accesses performed at the end of the slice.
+    pub gem_pages: u32,
+    /// Transaction this work is attributed to (None for system jobs
+    /// like dirty-page write-backs).
+    pub txn: Option<TxnId>,
+    /// Continuation fired when the job (including GEM holds) finishes.
+    pub cont: Cont,
+}
+
+/// Continuations: where control flow resumes after a CPU slice, device
+/// completion, or message delivery. Together with the per-transaction
+/// state these encode the transaction manager's state machine (§3.2).
+#[derive(Debug)]
+pub(crate) enum Cont {
+    /// Begin-of-transaction processing finished: start the first access.
+    BotDone(TxnId),
+    /// The record-access CPU slice finished: request the lock (or skip
+    /// to the page phase for unlocked partitions).
+    AccessCpuDone(TxnId),
+    /// Perform the GEM lock-table request now (entries already timed).
+    GemLockExec(TxnId),
+    /// A queued GEM lock was granted; the waiter processes the grant.
+    GemGrantExec(TxnId),
+    /// Perform commit phase 2 against the GEM lock table now.
+    GemReleaseExec(TxnId),
+    /// Perform the local-GLA lock request now.
+    PclLocalLockExec(TxnId),
+    /// A queued local-GLA lock was granted; the waiter resumes.
+    PclLocalGrantExec {
+        /// The resumed transaction.
+        txn: TxnId,
+        /// Page that was granted.
+        page: PageId,
+    },
+    /// A read lock was granted locally under a read authorization.
+    PclRaLocalExec(TxnId),
+    /// Perform PCL commit phase 2 (local releases) now.
+    PclReleaseExec(TxnId),
+    /// A send-CPU slice finished: put the message on the wire. If
+    /// `last_of` is set, that transaction's response ends here (release
+    /// messages are fire-and-forget).
+    SendDone {
+        /// Message to transmit.
+        msg: Msg,
+        /// Transaction completing with this send, if any.
+        last_of: Option<TxnId>,
+    },
+    /// A receive-CPU slice finished: act on the message.
+    RecvDone {
+        /// The received message.
+        msg: Msg,
+    },
+    /// Issue the storage read for the current access now (I/O
+    /// initiation CPU done).
+    StorageReadIssue(TxnId),
+    /// A storage read for the current access completed: install the
+    /// page and finish the access.
+    StorageReadDone(TxnId),
+    /// GEM-resident page read/written synchronously for the current
+    /// access: install and finish.
+    GemPageAccessDone(TxnId),
+    /// End-of-transaction CPU finished: begin commit phase 1.
+    CommitInit(TxnId),
+    /// Initiate the `idx`-th commit write (CPU for I/O initiation).
+    CommitWriteInit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Index into its commit write list.
+        idx: usize,
+    },
+    /// Issue the `idx`-th commit write to storage now.
+    CommitWriteIssue {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Index into its commit write list.
+        idx: usize,
+    },
+    /// One sequential commit write finished; continue the chain.
+    CommitIoChain {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Index of the completed write.
+        idx: usize,
+    },
+    /// Issue the dirty-page write-back to storage now (system job).
+    EvictWriteIssue {
+        /// Node that evicted the page.
+        node: NodeId,
+        /// The dirty page.
+        page: PageId,
+    },
+    /// A dirty-page write-back completed.
+    EvictWriteDone {
+        /// Node that evicted the page.
+        node: NodeId,
+        /// The written page.
+        page: PageId,
+    },
+    /// The GLT entry update clearing page ownership executed (after the
+    /// write-back of an owned page, GEM locking / NOFORCE).
+    GemOwnerClear {
+        /// Former owner.
+        node: NodeId,
+        /// The page.
+        page: PageId,
+    },
+    /// Owner-side handling of a page request: page stored into GEM
+    /// (PageTransferMode::Gem); notify the requester.
+    GemTransferStored {
+        /// The original page request.
+        msg: Msg,
+        /// Version stored.
+        seqno: u64,
+    },
+    /// Requester-side GEM fetch of a transferred page completed.
+    GemTransferFetched(TxnId),
+}
+
+/// A message between nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Msg {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload.
+    pub body: MsgBody,
+}
+
+/// Message payloads of the two protocols.
+#[derive(Debug, Clone)]
+pub(crate) enum MsgBody {
+    /// PCL: remote lock request to the GLA node.
+    LockReq {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Page to lock.
+        page: PageId,
+        /// Requested mode.
+        mode: LockMode,
+        /// Version of the requester's cached copy, if any (lets the GLA
+        /// decide whether to piggyback the current page).
+        cached: Option<u64>,
+    },
+    /// PCL: lock grant back to the requester, possibly carrying the
+    /// current page version (NOFORCE) and/or a read authorization.
+    LockGrant {
+        /// Granted transaction.
+        txn: TxnId,
+        /// Granted page.
+        page: PageId,
+        /// Mode granted.
+        mode: LockMode,
+        /// Page sequence number at the GLA.
+        seqno: u64,
+        /// Whether the current page version travels with the grant
+        /// (makes this a "long" message).
+        with_page: bool,
+        /// Whether a read authorization was granted.
+        ra: bool,
+    },
+    /// PCL: commit-time lock release to a remote GLA node; modified
+    /// pages of that authority travel along (NOFORCE), making the
+    /// message "long".
+    Release {
+        /// Releasing transaction.
+        txn: TxnId,
+        /// Pages released at this authority, with their modified flag.
+        pages: Vec<(PageId, bool)>,
+    },
+    /// PCL read optimization: revoke a read authorization.
+    Revoke {
+        /// Page whose authorization is revoked.
+        page: PageId,
+        /// The writer whose lock waits on the revocation.
+        writer: TxnId,
+    },
+    /// PCL read optimization: revocation acknowledged.
+    RevokeAck {
+        /// The page.
+        page: PageId,
+        /// The writer waiting for this acknowledgement.
+        writer: TxnId,
+    },
+    /// GEM locking / NOFORCE: request the current page version from its
+    /// owner.
+    PageReq {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// The wanted page.
+        page: PageId,
+    },
+    /// Reply to a page request. `found = true` makes this a "long"
+    /// message carrying the page (network transfer mode); with GEM
+    /// transfer mode the page travels through GEM and this stays short.
+    PageReply {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// The page.
+        page: PageId,
+        /// Version supplied.
+        seqno: u64,
+        /// Whether the owner still had the page.
+        found: bool,
+        /// Whether the page was deposited in GEM instead of the message
+        /// (GEM transfer mode).
+        via_gem: bool,
+    },
+}
+
+impl MsgBody {
+    /// True if the message carries a page (a "long" message).
+    pub fn is_long(&self) -> bool {
+        match self {
+            MsgBody::LockGrant { with_page, .. } => *with_page,
+            MsgBody::Release { pages, .. } => pages.iter().any(|&(_, m)| m),
+            MsgBody::PageReply { found, via_gem, .. } => *found && !via_gem,
+            _ => false,
+        }
+    }
+}

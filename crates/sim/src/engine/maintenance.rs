@@ -1,0 +1,623 @@
+//! Background machinery: dirty-page write-backs, deadlock detection /
+//! lock timeouts with abort-and-restart, and end-of-run report
+//! assembly.
+
+use super::{Cont, Engine, Event, Job, Phase, LOCK_TIMEOUT, RESTART_DELAY_MS};
+use crate::metrics::RunReport;
+use dbshare_lockmgr::deadlock::{choose_victim, find_cycle};
+use dbshare_model::{CouplingMode, NodeId, PageId, TxnId};
+use dbshare_node::buffer::BufferCounters;
+use desim::{SimDuration, SimTime};
+
+/// Why a victim was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbortReason {
+    Deadlock,
+    Timeout,
+    Crash,
+}
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // Dirty-page write-backs (NOFORCE replacement, §3.2)
+    // ------------------------------------------------------------------
+
+    /// A dirty page fell out of a buffer: write it back (a system job —
+    /// no transaction waits for it).
+    pub(crate) fn start_evict_write(&mut self, now: SimTime, node: NodeId, page: PageId) {
+        self.counters.evict_writes += 1;
+        if self.storage.is_gem_resident(page) {
+            let svc = self.fixed(self.cfg.gem.io_init_instr);
+            self.dispatch(
+                now,
+                node,
+                Job {
+                    service: svc,
+                    gem_entries: 0,
+                    gem_pages: 1,
+                    txn: None,
+                    cont: Cont::EvictWriteDone { node, page },
+                },
+            );
+        } else {
+            let instr = if self.storage.write_goes_to_gem(page) {
+                self.cfg.gem.io_init_instr
+            } else {
+                self.cfg.disk.io_instr_per_page
+            };
+            let svc = self.fixed(instr);
+            self.dispatch(
+                now,
+                node,
+                Job {
+                    service: svc,
+                    gem_entries: 0,
+                    gem_pages: 0,
+                    txn: None,
+                    cont: Cont::EvictWriteIssue { node, page },
+                },
+            );
+        }
+    }
+
+    /// The write-back's I/O-initiation CPU finished: issue the device
+    /// write.
+    pub(crate) fn evict_write_issue(&mut self, now: SimTime, node: NodeId, page: PageId) {
+        let served = self.storage.write_page(now, page);
+        self.cal.schedule(
+            served.done,
+            Event::IoDone {
+                cont: Cont::EvictWriteDone { node, page },
+            },
+        );
+    }
+
+    /// The write-back completed: under GEM locking / NOFORCE the GLT
+    /// ownership entry is cleared (an entry update), unless the node's
+    /// buffer meanwhile holds a *newer* dirty version of the page.
+    pub(crate) fn evict_write_done(&mut self, now: SimTime, node: NodeId, page: PageId) {
+        if self.is_gem_coupling() && self.is_noforce() && self.locked_partition(page) {
+            if self.nodes[node.index()].buffer.is_dirty(page) {
+                return; // a newer version exists; ownership stands
+            }
+            let svc = self.fixed(self.cfg.gem.lock_op_instr);
+            self.dispatch(
+                now,
+                node,
+                Job {
+                    service: svc,
+                    gem_entries: dbshare_lockmgr::GemLockTable::ENTRY_OPS,
+                    gem_pages: 0,
+                    txn: None,
+                    cont: Cont::GemOwnerClear { node, page },
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deadlock detection and aborts (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Audit (env `DBSHARE_AUDIT`): no live transaction may be in
+    /// LockWait on a page it already holds — that means a grant was
+    /// lost. Panics with details at the first violation.
+    pub(crate) fn audit_grants(&self, now: SimTime) {
+        for t in self.txns.values() {
+            if t.phase != Phase::LockWait {
+                continue;
+            }
+            let Some(p) = t.waiting_page else { continue };
+            let holds = match self.cfg.coupling {
+                CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                    self.glt.held_mode(t.id, p).is_some()
+                }
+                CouplingMode::Pcl => self.gla[self.gla_map.gla_of(p).index()]
+                    .holders_of(p)
+                    .iter()
+                    .any(|&(h, _)| h == t.id),
+            };
+            if holds {
+                panic!(
+                    "AUDIT at {now}: {:?} waits on {p} which it already holds                      (step {}, wait since {})",
+                    t.id, t.step, t.wait_since
+                );
+            }
+        }
+    }
+
+    /// Periodic scan: break *every* waits-for cycle (abort the youngest
+    /// member of each, re-collecting edges after every abort since an
+    /// abort wakes waiters) and abort any waiter past the lock timeout.
+    pub(crate) fn deadlock_scan(&mut self, now: SimTime) {
+        if std::env::var_os("DBSHARE_AUDIT").is_some() {
+            self.audit_grants(now);
+        }
+        let mut guard = 0u32;
+        loop {
+            let mut edges = match self.cfg.coupling {
+                CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                    self.glt.waits_for_edges()
+                }
+                CouplingMode::Pcl => {
+                    let mut e = Vec::new();
+                    for g in &self.gla {
+                        e.extend(g.waits_for_edges());
+                    }
+                    e
+                }
+            };
+            // Pending writers wait for locally authorized readers at
+            // other nodes (read optimization).
+            for (&writer, pw) in &self.pending_writes {
+                for ctx in &self.nodes {
+                    for reader in ctx.ra.readers(pw.ctx.page) {
+                        if reader != writer {
+                            edges.push((writer, reader));
+                        }
+                    }
+                }
+            }
+            // The edge list is assembled from hash maps; sort it so
+            // victim selection (and thus the whole run) is reproducible.
+            edges.sort_unstable();
+            edges.dedup();
+            let Some(cycle) = find_cycle(&edges) else { break };
+            let victim = choose_victim(&cycle);
+            self.abort(now, victim, AbortReason::Deadlock);
+            guard += 1;
+            if guard > 10_000 {
+                break; // unreachable in practice; bounds a scan
+            }
+        }
+        // Timeout safety net.
+        let mut stuck: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.phase == Phase::LockWait && now - t.wait_since > LOCK_TIMEOUT)
+            .map(|(&id, _)| id)
+            .collect();
+        stuck.sort_unstable();
+        for id in stuck {
+            if std::env::var_os("DBSHARE_DEBUG_TIMEOUTS").is_some() {
+                let t = &self.txns[&id];
+                let page = t.waiting_page;
+                let holders = page
+                    .map(|p| match self.cfg.coupling {
+                        CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                            self.glt.holders(p)
+                        }
+                        CouplingMode::Pcl =>
+                            self.gla[self.gla_map.gla_of(p).index()].holders_of(p),
+                    })
+                    .unwrap_or_default();
+                let holder_info: Vec<String> = holders
+                    .iter()
+                    .map(|&(h, m)| match self.txns.get(&h) {
+                        Some(ht) => format!(
+                            "{h:?}:{m:?} phase={:?} step={} waiting={:?}",
+                            ht.phase, ht.step, ht.waiting_page
+                        ),
+                        None => format!("{h:?}:{m:?} NOT-LIVE(LEAK)"),
+                    })
+                    .collect();
+                eprintln!(
+                    "TIMEOUT {:?} node={} step={} page={:?} queue={} holders=[{}]",
+                    id,
+                    t.node,
+                    t.step,
+                    page,
+                    page.map(|p| match self.cfg.coupling {
+                        CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                            self.glt.queue_len(p)
+                        }
+                        CouplingMode::Pcl =>
+                            self.gla[self.gla_map.gla_of(p).index()].queue_len_of(p),
+                    }).unwrap_or(0),
+                    holder_info.join(" | ")
+                );
+                if std::env::var_os("DBSHARE_DEBUG_STUCK").is_some() {
+                    self.dump_stuck(now);
+                    panic!("first timeout dumped");
+                }
+            }
+            self.abort(now, id, AbortReason::Timeout);
+        }
+    }
+
+    /// Aborts `victim` (it is lock-waiting): all protocol state is
+    /// cleaned up, waiters it blocked are woken, and the transaction
+    /// restarts after a short delay. State cleanup at remote lock
+    /// tables is immediate (the message costs of the rare abort paths
+    /// are not modelled — aborts do not occur at all for debit-credit).
+    pub(crate) fn abort(&mut self, now: SimTime, victim: TxnId, reason: AbortReason) {
+        let Some(t) = self.txns.remove(&victim) else {
+            return;
+        };
+        match reason {
+            AbortReason::Deadlock => self.counters.deadlock_aborts += 1,
+            AbortReason::Timeout => self.counters.timeout_aborts += 1,
+            AbortReason::Crash => self.counters.crash_aborts += 1,
+        }
+        match self.cfg.coupling {
+            CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                if let Some(p) = t.waiting_page {
+                    let grants = self.glt.release(victim, p);
+                    let grants = grants.into_iter().map(|(t2, m)| (p, t2, m)).collect();
+                    self.process_gem_grants(now, grants);
+                }
+                let grants = self.glt.release_all(victim);
+                self.process_gem_grants(now, grants);
+            }
+            CouplingMode::Pcl => {
+                self.remote_ctx.remove(&victim);
+                self.pending_writes.remove(&victim);
+                if let Some(p) = t.waiting_page {
+                    let g = self.gla_map.gla_of(p);
+                    let grants = self.gla[g.index()].release(victim, p);
+                    let grants = grants.into_iter().map(|(t2, m)| (p, t2, m)).collect();
+                    self.process_gla_grants(now, g, grants);
+                }
+                let mut authorities: Vec<NodeId> =
+                    t.held_gla.iter().map(|&(g, _, _)| g).collect();
+                authorities.sort_unstable();
+                authorities.dedup();
+                for g in authorities {
+                    let grants = self.gla[g.index()].release_all(victim);
+                    self.process_gla_grants(now, g, grants);
+                }
+                for &p in &t.held_ra {
+                    if self.nodes[t.node.index()].ra.release(victim, p) {
+                        self.send_deferred_ack(now, t.node, p);
+                    }
+                }
+            }
+        }
+        // Free the MPL slot (admit the next queued transaction).
+        if let Some((next, _)) = self.nodes[t.node.index()].mpl.release(now) {
+            if let Some(n) = self.txns.get_mut(&next) {
+                n.admitted = now;
+                n.phase = Phase::Running;
+                self.start_txn(now, next);
+            }
+        }
+        // Restart after a short randomized delay.
+        let delay =
+            SimDuration::from_millis_f64(self.restart_rng.exp(RESTART_DELAY_MS));
+        self.cal.schedule(
+            now + delay,
+            Event::Restart {
+                node: t.node,
+                spec: t.spec,
+                arrival: t.arrival,
+                restarts: t.restarts + 1,
+            },
+        );
+    }
+
+    /// Diagnostic dump: every live transaction's phase, and for lock
+    /// waiters the holders of the page they wait for (env
+    /// `DBSHARE_DEBUG_STUCK`).
+    pub(crate) fn dump_stuck(&self, now: SimTime) {
+        let mut by_phase: std::collections::HashMap<&'static str, usize> = Default::default();
+        for t in self.txns.values() {
+            let label = match t.phase {
+                Phase::InputQueue => "input",
+                Phase::Running => "running",
+                Phase::LockWait => "lockwait",
+                Phase::PageWait => "pagewait",
+                Phase::CommitIo => "commitio",
+            };
+            *by_phase.entry(label).or_default() += 1;
+        }
+        eprintln!("STUCK phases: {by_phase:?} live={}", self.txns.len());
+        for (i, ctx) in self.nodes.iter().enumerate() {
+            eprintln!(
+                "  NODE {i}: cpus in_use={} queue={} mpl in_use={} queue={}",
+                ctx.cpus.in_use(),
+                ctx.cpus.queue_len(),
+                ctx.mpl.in_use(),
+                ctx.mpl.queue_len(),
+            );
+        }
+        if self.is_gem_coupling() {
+            for part in 0..self.part_names.len() {
+                for pno in 0..16u64 {
+                    let pg = PageId::new(dbshare_model::PartitionId::new(part as u16), pno);
+                    let hs = self.glt.holders(pg);
+                    if !hs.is_empty() {
+                        let live: Vec<String> = hs
+                            .iter()
+                            .map(|&(h, m)| {
+                                format!(
+                                    "{h:?}:{m:?}:{}",
+                                    if self.txns.contains_key(&h) { "live" } else { "LEAKED" }
+                                )
+                            })
+                            .collect();
+                        eprintln!(
+                            "  PAGE {pg} holders=[{}] queue={}",
+                            live.join(","),
+                            self.glt.queue_len(pg)
+                        );
+                    }
+                }
+            }
+        }
+        if self.is_gem_coupling() {
+            let mut edges = self.glt.waits_for_edges();
+            edges.sort_unstable();
+            edges.dedup();
+            eprintln!("  EDGES({}): {:?}", edges.len(), &edges[..edges.len().min(60)]);
+            eprintln!("  CYCLE: {:?}", find_cycle(&edges));
+            let mut lw: Vec<_> = self
+                .txns
+                .values()
+                .filter(|t| t.phase == Phase::LockWait)
+                .map(|t| (t.id, t.held_gem.clone(), t.waiting_page))
+                .collect();
+            lw.sort_by_key(|x| x.0);
+            for (id, held, wait) in lw.iter().take(40) {
+                eprintln!("  LW {id:?} holds={held:?} waits={wait:?}");
+            }
+        }
+        for t in self.txns.values() {
+            if matches!(t.phase, Phase::Running | Phase::PageWait | Phase::CommitIo) {
+                eprintln!(
+                    "  ACTIVE {:?} node={} phase={:?} step={}/{} waiting={:?} held_gem={:?} held_gla={:?} modified={:?} commit_writes={}",
+                    t.id, t.node, t.phase, t.step, t.spec.refs().len(),
+                    t.waiting_page, t.held_gem, t.held_gla, t.modified,
+                    t.commit_writes.len(),
+                );
+            }
+        }
+        let mut waits: Vec<_> = self
+            .txns
+            .values()
+            .filter(|t| t.phase == Phase::LockWait)
+            .collect();
+        waits.sort_by_key(|t| t.wait_since);
+        for t in waits.iter().take(12) {
+            eprintln!(
+                "  {:?} node={} phase={:?} step={}/{} waiting={:?} since={:.1}s held_gem={} held_gla={}",
+                t.id,
+                t.node,
+                t.phase,
+                t.step,
+                t.spec.refs().len(),
+                t.waiting_page,
+                (now - t.wait_since).as_secs_f64(),
+                t.held_gem.len(),
+                t.held_gla.len(),
+            );
+            if let Some(p) = t.waiting_page {
+                let (holders, qlen) = match self.cfg.coupling {
+                    CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                        (self.glt.holders(p), self.glt.queue_len(p))
+                    }
+                    CouplingMode::Pcl => {
+                        let g = self.gla_map.gla_of(p).index();
+                        (self.gla[g].holders_of(p), self.gla[g].queue_len_of(p))
+                    }
+                };
+                eprintln!("    holders={holders:?} queue={qlen}");
+                for (h, _) in holders.iter().take(3) {
+                    if let Some(ht) = self.txns.get(h) {
+                        eprintln!(
+                            "    -> holder {:?} phase={:?} step={}/{} waiting={:?} node={}",
+                            h, ht.phase, ht.step, ht.spec.refs().len(), ht.waiting_page, ht.node
+                        );
+                    } else {
+                        eprintln!("    -> holder {h:?} NOT LIVE (leaked lock!)");
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection (reproduction extension)
+    // ------------------------------------------------------------------
+
+    /// The node fails: its volatile state is lost. Every transaction it
+    /// was running aborts (restarting on a survivor); under GEM locking
+    /// the non-volatile global lock table survives, only page
+    /// ownerships pointing into the dead buffer are cleared; under PCL
+    /// the node's lock-authority tables are volatile, so every
+    /// transaction with state at that authority must abort as well, and
+    /// requests to the authority stall until recovery (messages are
+    /// delivered after the recovery point, see `deliver`).
+    ///
+    /// Modelling note: CPU jobs already queued on the failing node when
+    /// it crashes still run to completion (their continuations are
+    /// no-ops once their transactions are gone). This slightly
+    /// understates the crash's disruption; the work involved is a few
+    /// milliseconds of in-flight slices.
+    pub(crate) fn node_crash(&mut self, now: SimTime, node: NodeId) {
+        self.down[node.index()] = true;
+        // Arrivals waiting for an MPL slot restart on a survivor.
+        let queued = self.nodes[node.index()].mpl.drain_queue(now);
+        for id in queued {
+            if let Some(t) = self.txns.remove(&id) {
+                self.counters.crash_aborts += 1;
+                self.schedule_restart(now, &t);
+            }
+        }
+        // Every live transaction executing on the node aborts.
+        let mut victims: Vec<TxnId> = self
+            .txns
+            .values()
+            .filter(|t| t.node == node)
+            .map(|t| t.id)
+            .collect();
+        victims.sort_unstable();
+        for v in victims {
+            self.abort(now, v, AbortReason::Crash);
+        }
+        // The buffer content is gone.
+        let parts = self.part_names.len();
+        self.nodes[node.index()].buffer =
+            dbshare_node::BufferManager::new(self.cfg.buffer_pages_per_node, parts);
+        match self.cfg.coupling {
+            CouplingMode::GemLocking | CouplingMode::LockEngine => {
+                // GEM is non-volatile: the GLT survives. Pages owned by
+                // the dead buffer are recovered from the log to the
+                // permanent database (modelled as instantaneous within
+                // the recovery window); ownership reverts to storage.
+                self.glt.clear_node_ownership(node);
+            }
+            CouplingMode::Pcl => {
+                // The node's lock-authority state was volatile: every
+                // transaction holding or waiting at it loses its locks.
+                let mut txns = self.gla[node.index()].all_txns();
+                txns.sort_unstable();
+                for v in txns {
+                    self.abort(now, v, AbortReason::Crash);
+                }
+            }
+        }
+    }
+
+    /// The node rejoins with a cold buffer.
+    pub(crate) fn node_recovered(&mut self, now: SimTime, node: NodeId) {
+        let _ = now;
+        self.down[node.index()] = false;
+    }
+
+    /// Schedules a restart of `t` (used by crash handling; deadlock
+    /// aborts go through [`abort`](Engine::abort)).
+    pub(crate) fn schedule_restart(&mut self, now: SimTime, t: &super::Txn) {
+        let delay = SimDuration::from_millis_f64(self.restart_rng.exp(RESTART_DELAY_MS));
+        self.cal.schedule(
+            now + delay,
+            Event::Restart {
+                node: t.node,
+                spec: t.spec.clone(),
+                arrival: t.arrival,
+                restarts: t.restarts + 1,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Report assembly
+    // ------------------------------------------------------------------
+
+    /// Builds the end-of-run report at `now`. Also constructs and
+    /// validates the merged global log (§2 / \[Ra91a\]) — an internal
+    /// consistency check on commit ordering.
+    pub(crate) fn build_report(&mut self, now: SimTime) -> RunReport {
+        let global_log = dbshare_storage::globallog::merge(&self.local_logs);
+        let global_log_records = dbshare_storage::globallog::validate(&global_log)
+            .expect("global log must merge consistently") as u64;
+        let c = self.counters.since(&self.base);
+        let n = self.measured.max(1) as f64;
+        let dev = self.storage.report(now);
+        let span = (now - self.metrics.started).as_secs_f64().max(1e-9);
+
+        let mut cpu_per_node = Vec::with_capacity(self.nodes.len());
+        for ctx in self.nodes.iter_mut() {
+            cpu_per_node.push(ctx.cpus.utilization(now));
+        }
+        let cpu_avg = cpu_per_node.iter().sum::<f64>() / cpu_per_node.len() as f64;
+        let cpu_max = cpu_per_node.iter().cloned().fold(0.0, f64::max);
+
+        // Aggregate buffer counters per partition across nodes.
+        let mut hit_ratios = Vec::new();
+        for (pi, name) in self.part_names.iter().enumerate() {
+            let mut agg = BufferCounters::default();
+            for ctx in &self.nodes {
+                let cnt = ctx.buffer.counters(pi);
+                agg.hits += cnt.hits;
+                agg.misses += cnt.misses;
+                agg.invalidations += cnt.invalidations;
+            }
+            hit_ratios.push((name.clone(), agg.hit_ratio()));
+        }
+
+        let local_lock_fraction = match self.cfg.coupling {
+            CouplingMode::GemLocking | CouplingMode::LockEngine => None,
+            CouplingMode::Pcl => {
+                let mut local = 0u64;
+                let mut remote = 0u64;
+                for (i, g) in self.gla.iter().enumerate() {
+                    let (l, r) = g.request_counts();
+                    local += l - self.base_gla[i].0;
+                    remote += r - self.base_gla[i].1;
+                }
+                for (i, ctx) in self.nodes.iter().enumerate() {
+                    local += ctx.ra.local_grants() - self.base_ra[i];
+                }
+                let total = local + remote;
+                Some(if total == 0 {
+                    1.0
+                } else {
+                    local as f64 / total as f64
+                })
+            }
+        };
+
+        let avg_refs = self.metrics.refs_completed as f64 / n;
+        let norm_response_ms = self.metrics.resp_per_ref.mean() * avg_refs;
+
+        RunReport {
+            nodes: self.cfg.nodes,
+            measured_txns: self.measured,
+            truncated: self.truncated,
+            sim_seconds: span,
+            throughput_tps: self.measured as f64 / span,
+            throughput_timeline: std::mem::take(&mut self.metrics.timeline),
+            mean_response_ms: self.metrics.resp.mean(),
+            response_ci95_ms: self.metrics.resp_batches.ci95_half_width(),
+            p50_response_ms: self.metrics.resp_hist.percentile(50.0).as_millis_f64(),
+            p95_response_ms: self.metrics.resp_hist.percentile(95.0).as_millis_f64(),
+            norm_response_ms,
+            input_wait_ms: self.metrics.input_wait.mean(),
+            lock_wait_ms: self.metrics.lock_wait.mean(),
+            io_wait_ms: self.metrics.io_wait.mean(),
+            cpu_wait_ms: self.metrics.cpu_wait.mean(),
+            cpu_service_ms: self.metrics.cpu_service.mean(),
+            cpu_utilization: cpu_avg,
+            cpu_utilization_max: cpu_max,
+            cpu_utilization_per_node: cpu_per_node,
+            gem_utilization: dev.gem_utilization,
+            lock_engine_utilization: dev.lock_engine_utilization,
+            network_utilization: dev.network_utilization,
+            messages_per_txn: dev.messages as f64 / n,
+            gem_entries_per_txn: dev.gem_entry_ops as f64 / n,
+            page_requests_per_txn: c.page_requests as f64 / n,
+            page_transfers_per_txn: c.page_transfers as f64 / n,
+            revokes_per_txn: c.revokes_sent as f64 / n,
+            page_req_delay_ms: self.metrics.page_req_delay.mean(),
+            lock_requests_per_txn: c.lock_requests as f64 / n,
+            local_lock_fraction,
+            lock_waits_per_txn: c.lock_waits as f64 / n,
+            invalidations_per_txn: c.invalidations as f64 / n,
+            reads_per_txn: c.storage_reads as f64 / n,
+            writes_per_txn: (c.commit_writes + c.log_writes) as f64 / n,
+            evict_writes_per_txn: c.evict_writes as f64 / n,
+            hit_ratios,
+            disk_utilizations: self
+                .part_names
+                .iter()
+                .cloned()
+                .zip(dev.partitions.iter().map(|p| p.disk_utilization))
+                .collect(),
+            log_utilization_max: dev
+                .log_utilization
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max),
+            deadlock_aborts: c.deadlock_aborts,
+            timeout_aborts: c.timeout_aborts,
+            crash_aborts: c.crash_aborts,
+            global_log_records,
+            events_processed: self.cal.total_scheduled(),
+            tps_per_node_at_80pct_cpu: if cpu_avg > 1e-9 {
+                self.cfg.arrival_tps_per_node * 0.8 / cpu_avg
+            } else {
+                0.0
+            },
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulation engine: event loop, CPU dispatch, and transaction
+//! lifecycle (the transaction manager of §3.2).
+
+mod access;
+mod commit;
+mod events;
+mod maintenance;
+mod messages;
+mod txn;
+
+pub(crate) use events::{Cont, Event, Job, Msg, MsgBody};
+pub(crate) use txn::{Phase, Txn};
+
+use crate::metrics::{Counters, Metrics, RunReport};
+use dbshare_lockmgr::pcl::{GlaState, RaTable};
+use dbshare_lockmgr::{GemLockTable, LockMode};
+use dbshare_model::config::ConfigError;
+use dbshare_model::gla::GlaMap;
+use dbshare_model::{CouplingMode, NodeId, PageId, SystemConfig, TxnId, UpdateStrategy};
+use dbshare_node::{BufferManager, CostModel};
+use dbshare_storage::globallog::LocalLog;
+use dbshare_storage::StorageSubsystem;
+use dbshare_workload::Workload;
+use desim::{Calendar, Resource, Rng, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Interval between deadlock / timeout scans.
+pub(crate) const DEADLOCK_SCAN_EVERY: SimDuration = SimDuration::from_millis(250);
+/// Lock waits longer than this abort the waiter (safety net; expected
+/// not to trigger for the paper's workloads).
+pub(crate) const LOCK_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+/// Mean restart delay after a deadlock abort.
+pub(crate) const RESTART_DELAY_MS: f64 = 50.0;
+
+/// Per-node runtime context.
+pub(crate) struct NodeCtx {
+    pub cpus: Resource<Job>,
+    pub mpl: Resource<TxnId>,
+    pub buffer: BufferManager,
+    pub ra: RaTable,
+    pub cost: CostModel,
+    pub rng: Rng,
+    /// Deferred revocation acknowledgements: page → (GLA node, writer).
+    pub pending_acks: HashMap<PageId, (NodeId, TxnId)>,
+}
+
+/// A remote lock request context kept at the GLA side until the grant
+/// can be sent (queued requests and pending writes).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqCtx {
+    pub from: NodeId,
+    pub page: PageId,
+    pub mode: LockMode,
+    pub cached: Option<u64>,
+}
+
+/// A write lock waiting for read-authorization revocations.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingWrite {
+    pub gla: NodeId,
+    pub acks_left: u32,
+    pub granted: bool,
+    pub ctx: ReqCtx,
+}
+
+/// The discrete-event simulation of one configuration.
+///
+/// Build with [`Engine::new`], run with [`Engine::run`]; the returned
+/// [`RunReport`] carries every metric the paper's figures use.
+pub struct Engine {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) cal: Calendar<Event>,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) storage: StorageSubsystem,
+    pub(crate) nodes: Vec<NodeCtx>,
+    pub(crate) glt: GemLockTable,
+    pub(crate) gla: Vec<GlaState>,
+    pub(crate) gla_map: GlaMap,
+    pub(crate) txns: HashMap<TxnId, Txn>,
+    pub(crate) next_txn: u64,
+    pub(crate) remote_ctx: HashMap<TxnId, ReqCtx>,
+    pub(crate) pending_writes: HashMap<TxnId, PendingWrite>,
+    pub(crate) counters: Counters,
+    pub(crate) base: Counters,
+    pub(crate) base_gla: Vec<(u64, u64)>,
+    pub(crate) base_ra: Vec<u64>,
+    pub(crate) metrics: Metrics,
+    pub(crate) arrival_rng: Rng,
+    pub(crate) wl_rng: Rng,
+    pub(crate) restart_rng: Rng,
+    pub(crate) warmed: bool,
+    pub(crate) done: bool,
+    pub(crate) truncated: bool,
+    /// Nodes currently down (failure injection).
+    pub(crate) down: Vec<bool>,
+    pub(crate) measured: u64,
+    pub(crate) part_locking: Vec<bool>,
+    pub(crate) part_names: Vec<String>,
+    /// Per-node commit logs, merged into the global log at end of run
+    /// (§2 / \[Ra91a\]).
+    pub(crate) local_logs: Vec<LocalLog>,
+    pub(crate) mean_arrival_gap_us: f64,
+}
+
+impl Engine {
+    /// Builds the engine from a configuration and a workload. The
+    /// workload's database layout is copied into the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration violation found.
+    pub fn new(mut cfg: SystemConfig, workload: Box<dyn Workload>) -> Result<Self, ConfigError> {
+        if cfg.partitions.is_empty() {
+            cfg.partitions = workload.partitions().to_vec();
+        }
+        cfg.validate()?;
+        let master = Rng::seed_from_u64(cfg.run.seed);
+        let storage = StorageSubsystem::new(&cfg);
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeCtx {
+                cpus: Resource::new(cfg.cpu.cpus_per_node),
+                mpl: Resource::new(cfg.mpl_per_node),
+                buffer: BufferManager::new(cfg.buffer_pages_per_node, cfg.partitions.len()),
+                ra: RaTable::new(),
+                cost: CostModel::new(cfg.cpu.clone()),
+                rng: master.derive(100 + i as u64),
+                pending_acks: HashMap::new(),
+            })
+            .collect();
+        let gla = (0..cfg.nodes).map(|_| GlaState::new()).collect();
+        let gla_map = workload.gla_map();
+        let part_locking = cfg.partitions.iter().map(|p| p.locking).collect();
+        let part_names = cfg.partitions.iter().map(|p| p.name.clone()).collect();
+        let mean_arrival_gap_us = 1e6 / (cfg.arrival_tps_per_node * cfg.nodes as f64);
+        Ok(Engine {
+            cal: Calendar::new(),
+            workload,
+            storage,
+            nodes,
+            glt: GemLockTable::new(),
+            gla,
+            gla_map,
+            txns: HashMap::new(),
+            next_txn: 0,
+            remote_ctx: HashMap::new(),
+            pending_writes: HashMap::new(),
+            counters: Counters::default(),
+            base: Counters::default(),
+            base_gla: vec![(0, 0); cfg.nodes as usize],
+            base_ra: vec![0; cfg.nodes as usize],
+            metrics: Metrics::default(),
+            arrival_rng: master.derive(1),
+            wl_rng: master.derive(2),
+            restart_rng: master.derive(3),
+            warmed: false,
+            done: false,
+            truncated: false,
+            down: vec![false; cfg.nodes as usize],
+            measured: 0,
+            part_locking,
+            part_names,
+            local_logs: (0..cfg.nodes).map(|i| LocalLog::new(NodeId::new(i))).collect(),
+            cfg,
+            mean_arrival_gap_us,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> RunReport {
+        self.cal.schedule(SimTime::ZERO, Event::Arrival);
+        self.cal
+            .schedule(SimTime::ZERO + DEADLOCK_SCAN_EVERY, Event::DeadlockScan);
+        if let Some(crash) = self.cfg.crash {
+            let node = NodeId::new(crash.node);
+            let at = SimTime::ZERO + SimDuration::from_secs_f64(crash.at_secs);
+            self.cal.schedule(at, Event::NodeCrash { node });
+            self.cal.schedule(
+                at + SimDuration::from_secs_f64(crash.recovery_secs),
+                Event::NodeRecovered { node },
+            );
+        }
+        // If there is no warm-up, measurement starts immediately.
+        if self.cfg.run.warmup_txns == 0 {
+            self.warmed = true;
+        }
+        let deadline = self
+            .cfg
+            .run
+            .max_sim_secs
+            .map(|s| SimTime::ZERO + SimDuration::from_secs_f64(s));
+        while !self.done {
+            let Some((now, ev)) = self.cal.pop() else {
+                break;
+            };
+            if let Some(limit) = deadline {
+                if now > limit {
+                    self.truncated = true;
+                    break;
+                }
+            }
+            self.on_event(now, ev);
+        }
+        let now = self.cal.now();
+        if std::env::var_os("DBSHARE_DEBUG_STUCK").is_some() {
+            self.dump_stuck(now);
+        }
+        self.build_report(now)
+    }
+
+    fn on_event(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival => {
+                let gap =
+                    SimDuration::from_micros_f64(self.arrival_rng.exp(self.mean_arrival_gap_us));
+                self.cal.schedule(now + gap, Event::Arrival);
+                let (node, spec) = self.workload.next(&mut self.wl_rng);
+                self.admit(now, node, spec, now, 0);
+            }
+            Event::Restart {
+                node,
+                spec,
+                arrival,
+                restarts,
+            } => self.admit(now, node, spec, arrival, restarts),
+            Event::CpuDone { node, job } => self.cpu_done(now, node, job),
+            Event::GemHeldDone { node, txn, cont } => {
+                let _ = txn;
+                self.release_cpu(now, node);
+                self.fire(now, cont);
+            }
+            Event::IoDone { cont } => self.fire(now, cont),
+            Event::Delivered { msg } => self.deliver(now, msg),
+            Event::DeadlockScan => {
+                self.deadlock_scan(now);
+                if !self.done {
+                    self.cal
+                        .schedule(now + DEADLOCK_SCAN_EVERY, Event::DeadlockScan);
+                }
+            }
+            Event::NodeCrash { node } => self.node_crash(now, node),
+            Event::NodeRecovered { node } => self.node_recovered(now, node),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU dispatch
+    // ------------------------------------------------------------------
+
+    /// Submits a CPU job on `node`: runs immediately if a processor is
+    /// free, otherwise queues FIFO.
+    pub(crate) fn dispatch(&mut self, now: SimTime, node: NodeId, job: Job) {
+        if let Some(job) = self.nodes[node.index()].cpus.acquire(now, job) {
+            self.cal
+                .schedule(now + job.service, Event::CpuDone { node, job });
+        }
+    }
+
+    /// A job's instruction execution finished; perform its synchronous
+    /// GEM tail (holding the CPU) or release the CPU and continue.
+    fn cpu_done(&mut self, now: SimTime, node: NodeId, job: Job) {
+        if let Some(id) = job.txn {
+            if let Some(t) = self.txns.get_mut(&id) {
+                t.cpu_service += job.service;
+            }
+        }
+        if job.gem_entries > 0 || job.gem_pages > 0 {
+            let mut done = now;
+            if job.gem_entries > 0 {
+                done = if self.is_lock_engine() {
+                    self.storage.lock_engine_ops(now, job.gem_entries / 2)
+                } else {
+                    self.storage.gem_entries(now, job.gem_entries)
+                };
+            }
+            if job.gem_pages > 0 {
+                done = self.storage.gem_pages(now, job.gem_pages).max(done);
+            }
+            if let Some(id) = job.txn {
+                if let Some(t) = self.txns.get_mut(&id) {
+                    t.cpu_service += done - now;
+                }
+            }
+            self.cal.schedule(
+                done,
+                Event::GemHeldDone {
+                    node,
+                    txn: job.txn,
+                    cont: job.cont,
+                },
+            );
+        } else {
+            self.release_cpu(now, node);
+            self.fire(now, job.cont);
+        }
+    }
+
+    /// Releases one CPU of `node`, starting the next queued job if any.
+    fn release_cpu(&mut self, now: SimTime, node: NodeId) {
+        if let Some((job, since)) = self.nodes[node.index()].cpus.release(now) {
+            if let Some(id) = job.txn {
+                if let Some(t) = self.txns.get_mut(&id) {
+                    t.cpu_wait += now - since;
+                }
+            }
+            self.cal
+                .schedule(now + job.service, Event::CpuDone { node, job });
+        }
+    }
+
+    /// The continuation dispatcher: transfers control to the
+    /// appropriate protocol/lifecycle step.
+    pub(crate) fn fire(&mut self, now: SimTime, cont: Cont) {
+        match cont {
+            Cont::BotDone(t) => self.begin_access(now, t),
+            Cont::AccessCpuDone(t) => self.after_access_cpu(now, t),
+            Cont::GemLockExec(t) => self.gem_lock_exec(now, t),
+            Cont::GemGrantExec(t) => self.gem_grant_exec(now, t),
+            Cont::GemReleaseExec(t) => self.gem_release_exec(now, t),
+            Cont::PclLocalLockExec(t) => self.pcl_local_lock_exec(now, t),
+            Cont::PclLocalGrantExec { txn, page } => self.pcl_local_grant_exec(now, txn, page),
+            Cont::PclRaLocalExec(t) => self.pcl_ra_local_exec(now, t),
+            Cont::PclReleaseExec(t) => self.pcl_release_exec(now, t),
+            Cont::SendDone { msg, last_of } => self.send_done(now, msg, last_of),
+            Cont::RecvDone { msg } => self.handle_msg(now, msg),
+            Cont::StorageReadIssue(t) => self.storage_read_issue(now, t),
+            Cont::StorageReadDone(t) => self.storage_read_done(now, t),
+            Cont::GemPageAccessDone(t) => self.storage_read_done(now, t),
+            Cont::CommitInit(t) => self.commit_init(now, t),
+            Cont::CommitWriteInit { txn, idx } => self.commit_write_init(now, txn, idx),
+            Cont::CommitWriteIssue { txn, idx } => self.commit_write_issue(now, txn, idx),
+            Cont::CommitIoChain { txn, idx } => self.commit_io_chain(now, txn, idx),
+            Cont::EvictWriteIssue { node, page } => self.evict_write_issue(now, node, page),
+            Cont::EvictWriteDone { node, page } => self.evict_write_done(now, node, page),
+            Cont::GemOwnerClear { node, page } => {
+                self.glt.record_writeback(page, node);
+            }
+            Cont::GemTransferStored { msg, seqno } => self.gem_transfer_stored(now, msg, seqno),
+            Cont::GemTransferFetched(t) => self.gem_transfer_fetched(now, t),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission and completion
+    // ------------------------------------------------------------------
+
+    /// The next node at or after `preferred` that is up (the TP monitor
+    /// re-routes arrivals around failed nodes).
+    pub(crate) fn alive_node(&self, preferred: NodeId) -> NodeId {
+        let n = self.nodes.len();
+        for off in 0..n {
+            let cand = (preferred.index() + off) % n;
+            if !self.down[cand] {
+                return NodeId::new(cand as u16);
+            }
+        }
+        preferred // unreachable: validation forbids crashing the only node
+    }
+
+    fn admit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        spec: dbshare_model::TxnSpec,
+        arrival: SimTime,
+        restarts: u32,
+    ) {
+        let node = self.alive_node(node);
+        let id = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        let mut t = Txn::new(id, node, spec, arrival, restarts);
+        let granted = self.nodes[node.index()]
+            .mpl
+            .acquire(now, id)
+            .is_some();
+        if granted {
+            t.admitted = now;
+            t.phase = Phase::Running;
+            self.txns.insert(id, t);
+            self.start_txn(now, id);
+        } else {
+            self.txns.insert(id, t);
+        }
+    }
+
+    pub(crate) fn start_txn(&mut self, now: SimTime, id: TxnId) {
+        let Some(t) = self.txns.get(&id) else { return };
+        let node = t.node;
+        let svc = self.sample(node, |c, r| c.bot(r));
+        self.dispatch(
+            now,
+            node,
+            Job {
+                service: svc,
+                gem_entries: 0,
+                gem_pages: 0,
+                txn: Some(id),
+                cont: Cont::BotDone(id),
+            },
+        );
+    }
+
+    /// Ends a transaction: statistics, MPL hand-over, run termination.
+    /// (A transaction may have been killed by a node crash while its
+    /// final send was in flight; completion is then a no-op.)
+    pub(crate) fn txn_complete(&mut self, now: SimTime, id: TxnId) {
+        let Some(t) = self.txns.remove(&id) else { return };
+        debug_assert_eq!(t.id, id);
+        if !t.modified.is_empty() {
+            self.local_logs[t.node.index()].append(now, id, t.modified.len() as u32);
+        }
+        self.counters.committed += 1;
+        if self.warmed {
+            self.measured += 1;
+            self.metrics.record_commit_time(now);
+            self.metrics.record_completion(
+                now - t.arrival,
+                t.spec.refs().len(),
+                t.admitted - t.arrival,
+                t.lock_wait,
+                t.io_wait,
+                t.cpu_wait,
+                t.cpu_service,
+            );
+            if self.measured >= self.cfg.run.measured_txns {
+                self.done = true;
+            }
+        } else if self.counters.committed >= self.cfg.run.warmup_txns {
+            self.end_warmup(now);
+        }
+        if let Some((next, since)) = self.nodes[t.node.index()].mpl.release(now) {
+            let _ = since;
+            if let Some(n) = self.txns.get_mut(&next) {
+                n.admitted = now;
+                n.phase = Phase::Running;
+                self.start_txn(now, next);
+            }
+        }
+    }
+
+    fn end_warmup(&mut self, now: SimTime) {
+        self.warmed = true;
+        self.metrics = Metrics {
+            started: now,
+            ..Metrics::default()
+        };
+        self.base = self.counters.clone();
+        self.storage.reset_stats(now);
+        for (i, ctx) in self.nodes.iter_mut().enumerate() {
+            ctx.cpus.reset_stats(now);
+            ctx.mpl.reset_stats(now);
+            ctx.buffer.reset_counters();
+            self.base_gla[i] = self.gla[i].request_counts();
+            self.base_ra[i] = ctx.ra.local_grants();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Small helpers shared by the submodules
+    // ------------------------------------------------------------------
+
+    pub(crate) fn txn(&self, id: TxnId) -> &Txn {
+        self.txns.get(&id).expect("live transaction")
+    }
+
+    pub(crate) fn txn_mut(&mut self, id: TxnId) -> &mut Txn {
+        self.txns.get_mut(&id).expect("live transaction")
+    }
+
+    /// Samples a cost on `node`'s stream.
+    pub(crate) fn sample<F>(&mut self, node: NodeId, f: F) -> SimDuration
+    where
+        F: FnOnce(&CostModel, &mut Rng) -> SimDuration,
+    {
+        let ctx = &mut self.nodes[node.index()];
+        f(&ctx.cost, &mut ctx.rng)
+    }
+
+    /// Fixed-instruction service time (identical on all nodes).
+    pub(crate) fn fixed(&self, instr: f64) -> SimDuration {
+        self.cfg.cpu.exec_time(instr)
+    }
+
+    pub(crate) fn is_noforce(&self) -> bool {
+        self.cfg.update == UpdateStrategy::NoForce
+    }
+
+    /// True if the configuration runs the global-lock-table protocol
+    /// (GEM locking or the \[Yu87\]-style central lock engine — identical
+    /// protocol, different lock-operation timing).
+    pub(crate) fn is_gem_coupling(&self) -> bool {
+        matches!(
+            self.cfg.coupling,
+            CouplingMode::GemLocking | CouplingMode::LockEngine
+        )
+    }
+
+    /// True if lock operations go to the central lock engine instead of
+    /// GEM entries.
+    pub(crate) fn is_lock_engine(&self) -> bool {
+        self.cfg.coupling == CouplingMode::LockEngine
+    }
+
+    /// Whether `page`'s partition uses page locking.
+    pub(crate) fn locked_partition(&self, page: PageId) -> bool {
+        self.part_locking
+            .get(page.partition().index())
+            .copied()
+            .unwrap_or(false)
+    }
+}

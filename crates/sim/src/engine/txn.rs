@@ -1,0 +1,137 @@
+//! Per-transaction runtime state.
+
+use dbshare_lockmgr::LockMode;
+use dbshare_model::{NodeId, PageId, TxnId, TxnSpec};
+use desim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Where a transaction currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Waiting for a multiprogramming slot.
+    InputQueue,
+    /// Executing (CPU, storage, or protocol processing).
+    Running,
+    /// Waiting for a lock (queued locally or at a remote GLA, or a
+    /// pending write awaiting revocation acks).
+    LockWait,
+    /// Waiting for a page (storage read or page transfer).
+    PageWait,
+    /// Commit phase 1: waiting for log/force writes.
+    CommitIo,
+}
+
+/// A commit-time page write (phase 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommitWrite {
+    /// The page to write (None = the log record, which goes to the
+    /// node's log disks).
+    pub page: Option<PageId>,
+}
+
+/// Runtime state of one transaction instance.
+#[derive(Debug)]
+pub(crate) struct Txn {
+    /// Identity.
+    pub id: TxnId,
+    /// Executing node.
+    pub node: NodeId,
+    /// The program (page references in order).
+    pub spec: TxnSpec,
+    /// First arrival (restarts keep the original for response times).
+    pub arrival: SimTime,
+    /// When it obtained its MPL slot.
+    pub admitted: SimTime,
+    /// Current reference index.
+    pub step: usize,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Pages locked via the GEM global lock table.
+    pub held_gem: Vec<PageId>,
+    /// Locks held at GLA nodes: (authority, page, mode).
+    pub held_gla: Vec<(NodeId, PageId, LockMode)>,
+    /// Pages read-locked locally under a read authorization.
+    pub held_ra: Vec<PageId>,
+    /// Page version numbers learned at lock time (used to predict the
+    /// post-commit version for remote authorities).
+    pub page_seqnos: HashMap<PageId, u64>,
+    /// Pages modified (ordered, deduplicated).
+    pub modified: Vec<PageId>,
+    /// Commit phase 1 write list (performed as a sequential chain).
+    pub commit_writes: Vec<CommitWrite>,
+    /// The page a lock is being waited on.
+    pub waiting_page: Option<PageId>,
+    /// When the current wait began.
+    pub wait_since: SimTime,
+    /// Times restarted after deadlock aborts.
+    pub restarts: u32,
+    /// Accumulated lock waiting time.
+    pub lock_wait: SimDuration,
+    /// Accumulated I/O and page-transfer waiting time (PageWait and
+    /// CommitIo phases).
+    pub io_wait: SimDuration,
+    /// Accumulated CPU queueing time.
+    pub cpu_wait: SimDuration,
+    /// Accumulated CPU service (including synchronous GEM holds).
+    pub cpu_service: SimDuration,
+}
+
+impl Txn {
+    /// Creates a fresh transaction.
+    pub fn new(id: TxnId, node: NodeId, spec: TxnSpec, arrival: SimTime, restarts: u32) -> Self {
+        Txn {
+            id,
+            node,
+            spec,
+            arrival,
+            admitted: arrival,
+            step: 0,
+            phase: Phase::InputQueue,
+            held_gem: Vec::new(),
+            held_gla: Vec::new(),
+            held_ra: Vec::new(),
+            page_seqnos: HashMap::new(),
+            modified: Vec::new(),
+            commit_writes: Vec::new(),
+            waiting_page: None,
+            wait_since: SimTime::ZERO,
+            restarts,
+            lock_wait: SimDuration::ZERO,
+            io_wait: SimDuration::ZERO,
+            cpu_wait: SimDuration::ZERO,
+            cpu_service: SimDuration::ZERO,
+        }
+    }
+
+    /// Records a modified page (deduplicated, order-preserving).
+    pub fn note_modified(&mut self, page: PageId) {
+        if !self.modified.contains(&page) {
+            self.modified.push(page);
+        }
+    }
+
+    /// Begins a wait at `now` (lock or page).
+    pub fn begin_wait(&mut self, now: SimTime, phase: Phase, page: Option<PageId>) {
+        self.phase = phase;
+        self.waiting_page = page;
+        self.wait_since = now;
+    }
+
+    /// Ends a lock wait at `now`, accumulating the waited time.
+    pub fn end_lock_wait(&mut self, now: SimTime) {
+        if self.phase == Phase::LockWait {
+            self.lock_wait += now - self.wait_since;
+        }
+        self.phase = Phase::Running;
+        self.waiting_page = None;
+    }
+
+    /// Ends an I/O or page wait at `now`, accumulating the waited time.
+    pub fn end_io_wait(&mut self, now: SimTime) {
+        if matches!(self.phase, Phase::PageWait | Phase::CommitIo) && now >= self.wait_since {
+            self.io_wait += now - self.wait_since;
+        }
+        self.phase = Phase::Running;
+        self.waiting_page = None;
+    }
+}

@@ -1,0 +1,425 @@
+//! Measurement collection and the end-of-run report.
+
+use desim::stats::{BatchMeans, DurationHistogram, RunningStat};
+use desim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Observations per batch for the batch-means confidence interval.
+const BATCH: u64 = 200;
+
+/// Accumulators filled during the measurement window.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    /// Response times (arrival → commit) in milliseconds.
+    pub resp: RunningStat,
+    /// Batch means over response times (95% confidence half-width).
+    pub resp_batches: BatchMeans,
+    /// Response-time histogram for percentiles.
+    pub resp_hist: DurationHistogram,
+    /// Input-queue (MPL) waiting time.
+    pub input_wait: RunningStat,
+    /// Per-transaction lock waiting time.
+    pub lock_wait: RunningStat,
+    /// Per-transaction I/O waiting time (storage reads, page transfers,
+    /// commit writes).
+    pub io_wait: RunningStat,
+    /// Per-transaction CPU queueing time.
+    pub cpu_wait: RunningStat,
+    /// Per-transaction CPU service time (incl. synchronous GEM holds).
+    pub cpu_service: RunningStat,
+    /// Delay from page request send to page installation (§4.2 footnote:
+    /// ≈6.5 ms vs >16.4 ms for a disk access).
+    pub page_req_delay: RunningStat,
+    /// Per-transaction response time divided by its reference count
+    /// (used for the §4.6 "artificial average transaction" metric).
+    pub resp_per_ref: RunningStat,
+    /// Total page references of measured transactions.
+    pub refs_completed: u64,
+    /// Commits per simulated second (bucketed timeline over the
+    /// measurement window).
+    pub timeline: Vec<u64>,
+    /// Measurement window start.
+    pub started: SimTime,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            resp: RunningStat::default(),
+            resp_batches: BatchMeans::new(BATCH),
+            resp_hist: DurationHistogram::default(),
+            input_wait: RunningStat::default(),
+            lock_wait: RunningStat::default(),
+            io_wait: RunningStat::default(),
+            cpu_wait: RunningStat::default(),
+            cpu_service: RunningStat::default(),
+            page_req_delay: RunningStat::default(),
+            resp_per_ref: RunningStat::default(),
+            refs_completed: 0,
+            timeline: Vec::new(),
+            started: SimTime::ZERO,
+        }
+    }
+}
+
+impl Metrics {
+    /// Buckets a commit at `now` into the per-second timeline.
+    pub(crate) fn record_commit_time(&mut self, now: SimTime) {
+        let sec = (now - self.started).as_secs_f64() as usize;
+        if self.timeline.len() <= sec {
+            self.timeline.resize(sec + 1, 0);
+        }
+        self.timeline[sec] += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)] // one bucket per wait class
+    pub(crate) fn record_completion(
+        &mut self,
+        resp: SimDuration,
+        refs: usize,
+        input_wait: SimDuration,
+        lock_wait: SimDuration,
+        io_wait: SimDuration,
+        cpu_wait: SimDuration,
+        cpu_service: SimDuration,
+    ) {
+        self.resp.record_dur_ms(resp);
+        self.resp_batches.record(resp.as_millis_f64());
+        self.resp_hist.record(resp);
+        self.input_wait.record_dur_ms(input_wait);
+        self.lock_wait.record_dur_ms(lock_wait);
+        self.io_wait.record_dur_ms(io_wait);
+        self.cpu_wait.record_dur_ms(cpu_wait);
+        self.cpu_service.record_dur_ms(cpu_service);
+        self.resp_per_ref
+            .record(resp.as_millis_f64() / refs.max(1) as f64);
+        self.refs_completed += refs as u64;
+    }
+}
+
+/// Engine-level event counters (snapshotted at the end of warm-up so
+/// reports cover only the measurement window).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub(crate) struct Counters {
+    pub committed: u64,
+    pub lock_requests: u64,
+    pub remote_lock_requests: u64,
+    pub ra_local_grants: u64,
+    pub lock_waits: u64,
+    pub page_requests: u64,
+    pub page_transfers: u64,
+    pub gem_transfers: u64,
+    pub storage_reads: u64,
+    pub commit_writes: u64,
+    pub log_writes: u64,
+    pub evict_writes: u64,
+    pub invalidations: u64,
+    pub deadlock_aborts: u64,
+    pub timeout_aborts: u64,
+    pub crash_aborts: u64,
+    pub revokes_sent: u64,
+}
+
+impl Counters {
+    /// Counter delta `self - base` (measurement window totals).
+    pub(crate) fn since(&self, base: &Counters) -> Counters {
+        Counters {
+            committed: self.committed - base.committed,
+            lock_requests: self.lock_requests - base.lock_requests,
+            remote_lock_requests: self.remote_lock_requests - base.remote_lock_requests,
+            ra_local_grants: self.ra_local_grants - base.ra_local_grants,
+            lock_waits: self.lock_waits - base.lock_waits,
+            page_requests: self.page_requests - base.page_requests,
+            page_transfers: self.page_transfers - base.page_transfers,
+            gem_transfers: self.gem_transfers - base.gem_transfers,
+            storage_reads: self.storage_reads - base.storage_reads,
+            commit_writes: self.commit_writes - base.commit_writes,
+            log_writes: self.log_writes - base.log_writes,
+            evict_writes: self.evict_writes - base.evict_writes,
+            invalidations: self.invalidations - base.invalidations,
+            deadlock_aborts: self.deadlock_aborts - base.deadlock_aborts,
+            timeout_aborts: self.timeout_aborts - base.timeout_aborts,
+            crash_aborts: self.crash_aborts - base.crash_aborts,
+            revokes_sent: self.revokes_sent - base.revokes_sent,
+        }
+    }
+}
+
+/// Everything a simulation run reports. Field units are embedded in the
+/// names; "per_txn" denominators are measured commits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Number of processing nodes.
+    pub nodes: u16,
+    /// Committed transactions in the measurement window.
+    pub measured_txns: u64,
+    /// True if the run hit `RunControl::max_sim_secs` before reaching
+    /// its measured-transaction target (overload).
+    pub truncated: bool,
+    /// Length of the measurement window in simulated seconds.
+    pub sim_seconds: f64,
+    /// Measured throughput in transactions per second (system-wide).
+    pub throughput_tps: f64,
+    /// Commits per simulated second over the measurement window (the
+    /// last, possibly partial, second is included) — visualizes
+    /// transients such as an injected node crash.
+    pub throughput_timeline: Vec<u64>,
+    /// Mean transaction response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// Half-width of the 95% confidence interval on the mean response
+    /// time (batch means over batches of 200 transactions; `None` with
+    /// fewer than two complete batches).
+    pub response_ci95_ms: Option<f64>,
+    /// Median response time.
+    pub p50_response_ms: f64,
+    /// 95th-percentile response time.
+    pub p95_response_ms: f64,
+    /// Response time normalized to a transaction of the workload's
+    /// average size (the §4.6 reporting convention; equals
+    /// `mean_response_ms` for fixed-size workloads).
+    pub norm_response_ms: f64,
+    /// Mean input-queue wait (should be ≈0 with the paper's MPL).
+    pub input_wait_ms: f64,
+    /// Mean per-transaction lock wait.
+    pub lock_wait_ms: f64,
+    /// Mean per-transaction I/O wait (reads, page transfers, commit
+    /// writes) — the response-time composition the paper reports.
+    pub io_wait_ms: f64,
+    /// Mean per-transaction CPU queueing time.
+    pub cpu_wait_ms: f64,
+    /// Mean per-transaction CPU service time.
+    pub cpu_service_ms: f64,
+    /// Average CPU utilization across nodes.
+    pub cpu_utilization: f64,
+    /// Highest per-node CPU utilization (imbalance indicator, §4.6).
+    pub cpu_utilization_max: f64,
+    /// CPU utilization of each node (§4.6 reports "some nodes utilized
+    /// by more than 85%").
+    pub cpu_utilization_per_node: Vec<f64>,
+    /// GEM server utilization.
+    pub gem_utilization: f64,
+    /// Central lock-engine utilization (0 unless
+    /// `CouplingMode::LockEngine` — the \[Yu87\] comparison of §5).
+    pub lock_engine_utilization: f64,
+    /// Network utilization.
+    pub network_utilization: f64,
+    /// Messages per transaction (all kinds).
+    pub messages_per_txn: f64,
+    /// GEM entry operations per transaction.
+    pub gem_entries_per_txn: f64,
+    /// Page requests per transaction (NOFORCE misses served by owners).
+    pub page_requests_per_txn: f64,
+    /// Pages transferred between nodes per transaction (page-request
+    /// replies under GEM locking; grant piggybacks under PCL).
+    pub page_transfers_per_txn: f64,
+    /// Read-authorization revocations sent per transaction (PCL read
+    /// optimization).
+    pub revokes_per_txn: f64,
+    /// Mean delay of a page request until the page was installed.
+    pub page_req_delay_ms: f64,
+    /// Lock requests per transaction.
+    pub lock_requests_per_txn: f64,
+    /// Fraction of lock requests processed without messages (PCL; GEM
+    /// locking reports `None` — every request goes to GEM, none need
+    /// messages).
+    pub local_lock_fraction: Option<f64>,
+    /// Lock requests that had to wait, per transaction.
+    pub lock_waits_per_txn: f64,
+    /// Buffer invalidations detected per transaction.
+    pub invalidations_per_txn: f64,
+    /// Storage page reads per transaction.
+    pub reads_per_txn: f64,
+    /// Commit-time page/log writes per transaction.
+    pub writes_per_txn: f64,
+    /// Replacement-driven write-backs per transaction.
+    pub evict_writes_per_txn: f64,
+    /// Per-partition buffer hit ratios `(name, ratio)` aggregated over
+    /// all nodes.
+    pub hit_ratios: Vec<(String, f64)>,
+    /// Per-partition disk-array utilization `(name, utilization)`.
+    pub disk_utilizations: Vec<(String, f64)>,
+    /// Per-node log-disk utilization (max across nodes).
+    pub log_utilization_max: f64,
+    /// Transactions aborted by deadlock detection.
+    pub deadlock_aborts: u64,
+    /// Transactions aborted by lock timeout (safety net; expected 0).
+    pub timeout_aborts: u64,
+    /// Transactions killed by an injected node crash (their restarts
+    /// run on surviving nodes).
+    pub crash_aborts: u64,
+    /// Records in the merged global log (update commits over the whole
+    /// run incl. warm-up; the merge is validated every run, §2/\[Ra91a\]).
+    pub global_log_records: u64,
+    /// Calendar events processed over the whole run (simulator-
+    /// performance figure; pairs with the criterion benches).
+    pub events_processed: u64,
+    /// Throughput per node that would drive average CPU utilization to
+    /// 80% (the Fig. 4.6 metric), extrapolated from the measured
+    /// utilization-per-TPS ratio.
+    pub tps_per_node_at_80pct_cpu: f64,
+}
+
+impl RunReport {
+    /// Hit ratio of the named partition, if present.
+    pub fn hit_ratio(&self, partition: &str) -> Option<f64> {
+        self.hit_ratios
+            .iter()
+            .find(|(n, _)| n == partition)
+            .map(|&(_, r)| r)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "N={:<2} txns={:<6} tps={:<7.1} resp={:.1}ms (p50 {:.1}, p95 {:.1}, norm {:.1})",
+            self.nodes,
+            self.measured_txns,
+            self.throughput_tps,
+            self.mean_response_ms,
+            self.p50_response_ms,
+            self.p95_response_ms,
+            self.norm_response_ms,
+        )?;
+        writeln!(
+            f,
+            "  cpu={:.1}% (max {:.1}%) gem={:.2}% net={:.1}% | waits: input {:.2}ms lock {:.2}ms cpu {:.2}ms svc {:.2}ms",
+            self.cpu_utilization * 100.0,
+            self.cpu_utilization_max * 100.0,
+            self.gem_utilization * 100.0,
+            self.network_utilization * 100.0,
+            self.input_wait_ms,
+            self.lock_wait_ms,
+            self.cpu_wait_ms,
+            self.cpu_service_ms,
+        )?;
+        writeln!(f, "  io wait: {:.2}ms/txn", self.io_wait_ms)?;
+        writeln!(
+            f,
+            "  per txn: locks {:.2} (local {}) msgs {:.2} pagereq {:.2} ({:.1}ms) reads {:.2} writes {:.2} evict {:.2} inval {:.3}",
+            self.lock_requests_per_txn,
+            match self.local_lock_fraction {
+                Some(l) => format!("{:.0}%", l * 100.0),
+                None => "n/a".into(),
+            },
+            self.messages_per_txn,
+            self.page_requests_per_txn,
+            self.page_req_delay_ms,
+            self.reads_per_txn,
+            self.writes_per_txn,
+            self.evict_writes_per_txn,
+            self.invalidations_per_txn,
+        )?;
+        write!(f, "  hits:")?;
+        for (name, r) in &self.hit_ratios {
+            write!(f, " {name}={:.0}%", r * 100.0)?;
+        }
+        write!(f, "\n  disk util:")?;
+        for (name, u) in &self.disk_utilizations {
+            write!(f, " {name}={:.0}%", u * 100.0)?;
+        }
+        write!(f, " log(max)={:.0}%", self.log_utilization_max * 100.0)?;
+        if self.deadlock_aborts + self.timeout_aborts > 0 {
+            write!(
+                f,
+                " | aborts: {} deadlock, {} timeout",
+                self.deadlock_aborts, self.timeout_aborts
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            nodes: 2,
+            measured_txns: 100,
+            truncated: false,
+            sim_seconds: 1.0,
+            throughput_tps: 100.0,
+            throughput_timeline: vec![100, 100],
+            mean_response_ms: 42.0,
+            response_ci95_ms: Some(1.0),
+            p50_response_ms: 40.0,
+            p95_response_ms: 80.0,
+            norm_response_ms: 42.0,
+            input_wait_ms: 0.0,
+            lock_wait_ms: 1.0,
+            io_wait_ms: 20.0,
+            cpu_wait_ms: 5.0,
+            cpu_service_ms: 25.0,
+            cpu_utilization: 0.625,
+            cpu_utilization_max: 0.64,
+            cpu_utilization_per_node: vec![0.61, 0.64],
+            gem_utilization: 0.004,
+            lock_engine_utilization: 0.0,
+            network_utilization: 0.01,
+            messages_per_txn: 2.0,
+            gem_entries_per_txn: 12.0,
+            page_requests_per_txn: 0.5,
+            page_transfers_per_txn: 0.5,
+            revokes_per_txn: 0.0,
+            page_req_delay_ms: 6.5,
+            lock_requests_per_txn: 2.0,
+            local_lock_fraction: Some(0.5),
+            lock_waits_per_txn: 0.01,
+            invalidations_per_txn: 0.2,
+            reads_per_txn: 1.3,
+            writes_per_txn: 1.0,
+            evict_writes_per_txn: 1.0,
+            hit_ratios: vec![("BRANCH/TELLER".into(), 0.71)],
+            disk_utilizations: vec![("BRANCH/TELLER".into(), 0.4)],
+            log_utilization_max: 0.3,
+            deadlock_aborts: 0,
+            timeout_aborts: 0,
+            crash_aborts: 0,
+            global_log_records: 100,
+            events_processed: 5_000,
+            tps_per_node_at_80pct_cpu: 128.0,
+        }
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("tps=100.0"), "{s}");
+        assert!(s.contains("resp=42.0ms"), "{s}");
+        assert!(s.contains("local 50%"), "{s}");
+        assert!(s.contains("BRANCH/TELLER=71%"), "{s}");
+        assert!(!s.contains("aborts"), "{s}");
+    }
+
+    #[test]
+    fn display_shows_aborts_when_present() {
+        let mut r = report();
+        r.deadlock_aborts = 3;
+        assert!(r.to_string().contains("3 deadlock"));
+    }
+
+    #[test]
+    fn hit_ratio_lookup() {
+        let r = report();
+        assert_eq!(r.hit_ratio("BRANCH/TELLER"), Some(0.71));
+        assert_eq!(r.hit_ratio("ACCOUNT"), None);
+    }
+
+    #[test]
+    fn counters_since_subtracts() {
+        let a = Counters {
+            committed: 10,
+            page_requests: 4,
+            ..Counters::default()
+        };
+        let mut b = a.clone();
+        b.committed = 25;
+        b.page_requests = 9;
+        let d = b.since(&a);
+        assert_eq!(d.committed, 15);
+        assert_eq!(d.page_requests, 5);
+    }
+}

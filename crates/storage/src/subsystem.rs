@@ -1,0 +1,720 @@
+//! The storage subsystem facade: every external device of one
+//! simulated configuration.
+
+use dbshare_model::{NodeId, PageId, StorageAllocation, SystemConfig};
+use desim::lru::LruCache;
+use desim::{MultiServer, SimDuration, SimTime};
+
+/// How a page access was served — used for statistics and for the
+/// engine to decide CPU overhead (3000 instructions per disk I/O, 300
+/// for GEM I/O, Table 4.1) and synchrony (GEM accesses keep the CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Served by a magnetic disk (16.4 ms average unqueued).
+    DbDisk,
+    /// Hit in a shared disk cache (1.4 ms: controller + transfer).
+    DiskCacheHit,
+    /// Write absorbed by a non-volatile disk cache (1.4 ms).
+    NvCacheWrite,
+    /// Served by GEM (50 µs, synchronous — CPU held).
+    Gem,
+    /// Log disk write (6.4 ms).
+    LogDisk,
+}
+
+impl AccessClass {
+    /// True if the access is synchronous (the CPU stays busy until the
+    /// device completes — only GEM accesses qualify, §2).
+    pub const fn is_synchronous(self) -> bool {
+        matches!(self, AccessClass::Gem)
+    }
+}
+
+/// Outcome of a storage operation: what served it and when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    /// Completion instant (including queueing).
+    pub done: SimTime,
+    /// Device class that served the request.
+    pub class: AccessClass,
+}
+
+/// One partition's backing store.
+///
+/// Pages are striped across the array *page-affinely* (`page % disks`),
+/// so accesses to the same page serialize on the same device — exactly
+/// as on real hardware. This matters for correctness: a read issued
+/// while a write-back of the same page is in flight queues behind it
+/// and therefore observes the new version.
+#[derive(Debug)]
+struct PartStore {
+    alloc: StorageAllocation,
+    /// Disk array, one single-server station per disk (absent for
+    /// GEM-resident partitions).
+    disks: Vec<MultiServer>,
+    /// Controller path for cached arrays (serves cache hits).
+    controller: Option<MultiServer>,
+    /// Cache directory: page number -> () (contents are irrelevant to
+    /// timing; presence is what matters).
+    cache: Option<LruCache<u64, ()>>,
+    nonvolatile: bool,
+    reads: u64,
+    read_hits: u64,
+    writes: u64,
+}
+
+impl PartStore {
+    fn disk_for(&mut self, page: PageId) -> &mut MultiServer {
+        let n = self.disks.len() as u64;
+        debug_assert!(n > 0, "disk access on diskless partition");
+        let idx = (page.number() % n) as usize;
+        &mut self.disks[idx]
+    }
+}
+
+fn disk_array(disks: u32) -> Vec<MultiServer> {
+    (0..disks).map(|_| MultiServer::new(1)).collect()
+}
+
+/// All external devices of one configuration (§3.3).
+///
+/// The engine calls these methods while processing an event at `now`;
+/// each returns the completion instant for the caller to schedule a
+/// follow-up event. Device statistics accumulate internally.
+#[derive(Debug)]
+pub struct StorageSubsystem {
+    parts: Vec<PartStore>,
+    /// Per-node log disk groups.
+    log: Vec<MultiServer>,
+    gem: MultiServer,
+    lock_engine: MultiServer,
+    lock_engine_time: SimDuration,
+    network: MultiServer,
+    db_disk_time: SimDuration,
+    cache_hit_time: SimDuration,
+    log_time: SimDuration,
+    gem_page_time: SimDuration,
+    gem_entry_time: SimDuration,
+    bandwidth_mb_s: f64,
+    log_in_gem: bool,
+    gem_page_ops: u64,
+    gem_entry_ops: u64,
+    messages: u64,
+    stats_since: SimTime,
+}
+
+impl StorageSubsystem {
+    /// Builds every device from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (callers run
+    /// [`SystemConfig::validate`] first).
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let d = &cfg.disk;
+        let parts = cfg
+            .partitions
+            .iter()
+            .map(|p| match p.storage {
+                StorageAllocation::Disk { disks } => PartStore {
+                    alloc: p.storage.clone(),
+                    disks: disk_array(disks),
+                    controller: None,
+                    cache: None,
+                    nonvolatile: false,
+                    reads: 0,
+                    read_hits: 0,
+                    writes: 0,
+                },
+                StorageAllocation::CachedDisk {
+                    disks,
+                    cache_pages,
+                    nonvolatile,
+                } => PartStore {
+                    alloc: p.storage.clone(),
+                    disks: disk_array(disks),
+                    // The controller path is wide: hits cost 1.4 ms of
+                    // service but several can overlap (one port per
+                    // 2 disks, at least 2).
+                    controller: Some(MultiServer::new((disks / 2).max(2))),
+                    cache: Some(LruCache::new(cache_pages as usize)),
+                    nonvolatile,
+                    reads: 0,
+                    read_hits: 0,
+                    writes: 0,
+                },
+                StorageAllocation::Gem => PartStore {
+                    alloc: p.storage.clone(),
+                    disks: Vec::new(),
+                    controller: None,
+                    cache: None,
+                    nonvolatile: true,
+                    reads: 0,
+                    read_hits: 0,
+                    writes: 0,
+                },
+                StorageAllocation::WriteBufferedDisk { disks, buffer_pages } => PartStore {
+                    alloc: p.storage.clone(),
+                    disks: disk_array(disks),
+                    controller: None,
+                    cache: Some(LruCache::new(buffer_pages as usize)),
+                    nonvolatile: true,
+                    reads: 0,
+                    read_hits: 0,
+                    writes: 0,
+                },
+            })
+            .collect();
+        StorageSubsystem {
+            parts,
+            log: (0..cfg.nodes)
+                .map(|_| MultiServer::new(d.log_disks_per_node))
+                .collect(),
+            gem: MultiServer::new(cfg.gem.servers),
+            lock_engine: MultiServer::new(cfg.lock_engine.servers),
+            lock_engine_time: SimDuration::from_micros_f64(cfg.lock_engine.op_service_us),
+            network: MultiServer::new(1),
+            db_disk_time: SimDuration::from_millis_f64(d.db_disk_ms + d.controller_ms + d.transfer_ms),
+            cache_hit_time: SimDuration::from_millis_f64(d.controller_ms + d.transfer_ms),
+            log_time: SimDuration::from_millis_f64(d.log_disk_ms + d.controller_ms + d.transfer_ms),
+            gem_page_time: cfg.gem_page_time(),
+            gem_entry_time: cfg.gem_entry_time(),
+            bandwidth_mb_s: cfg.comm.bandwidth_mb_per_s,
+            log_in_gem: cfg.log_storage == dbshare_model::LogStorage::Gem,
+            gem_page_ops: 0,
+            gem_entry_ops: 0,
+            messages: 0,
+            stats_since: SimTime::ZERO,
+        }
+    }
+
+    /// Reads `page` from its backing store.
+    ///
+    /// For cached arrays the cache directory decides hit or miss (the
+    /// page is staged into the cache on a miss, per \[Gr89\]).
+    pub fn read_page(&mut self, now: SimTime, page: PageId) -> Served {
+        let part = &mut self.parts[page.partition().index()];
+        part.reads += 1;
+        match part.alloc {
+            StorageAllocation::Gem => {
+                self.gem_page_ops += 1;
+                Served {
+                    done: self.gem.offer(now, self.gem_page_time),
+                    class: AccessClass::Gem,
+                }
+            }
+            StorageAllocation::Disk { .. } => Served {
+                done: {
+                    let t = self.db_disk_time;
+                    part.disk_for(page).offer(now, t)
+                },
+                class: AccessClass::DbDisk,
+            },
+            StorageAllocation::CachedDisk { .. } => {
+                let cache = part.cache.as_mut().expect("cached allocation has cache");
+                if cache.get(&page.number()).is_some() {
+                    part.read_hits += 1;
+                    Served {
+                        done: part
+                            .controller
+                            .as_mut()
+                            .expect("cached allocation has controller")
+                            .offer(now, self.cache_hit_time),
+                        class: AccessClass::DiskCacheHit,
+                    }
+                } else {
+                    // Stage the page into the cache; a dirty NV page
+                    // never gets evicted un-destaged because destaging
+                    // is immediate (see `write_page`).
+                    cache.insert(page.number(), ());
+                    Served {
+                        done: {
+                            let t = self.db_disk_time;
+                            part.disk_for(page).offer(now, t)
+                        },
+                        class: AccessClass::DbDisk,
+                    }
+                }
+            }
+            StorageAllocation::WriteBufferedDisk { .. } => {
+                let cache = part.cache.as_mut().expect("write buffer exists");
+                if cache.get(&page.number()).is_some() {
+                    // Recently written: served from the GEM write buffer.
+                    part.read_hits += 1;
+                    self.gem_page_ops += 1;
+                    Served {
+                        done: self.gem.offer(now, self.gem_page_time),
+                        class: AccessClass::Gem,
+                    }
+                } else {
+                    Served {
+                        done: {
+                            let t = self.db_disk_time;
+                            part.disk_for(page).offer(now, t)
+                        },
+                        class: AccessClass::DbDisk,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes `page` to its backing store, returning when the write is
+    /// *visible* (durable for FORCE purposes).
+    ///
+    /// * GEM-resident partitions: 50 µs synchronous GEM page write.
+    /// * Non-volatile caches: 1.4 ms into the cache; the disk copy is
+    ///   updated asynchronously (the destage I/O is accounted on the
+    ///   array but does not delay the caller).
+    /// * Volatile caches: the disk write is synchronous (only reads can
+    ///   be served from a volatile cache), but the cache copy is
+    ///   refreshed so later readers of any node hit.
+    /// * Plain disks: a 16.4 ms disk write.
+    pub fn write_page(&mut self, now: SimTime, page: PageId) -> Served {
+        let part = &mut self.parts[page.partition().index()];
+        part.writes += 1;
+        match part.alloc {
+            StorageAllocation::Gem => {
+                self.gem_page_ops += 1;
+                Served {
+                    done: self.gem.offer(now, self.gem_page_time),
+                    class: AccessClass::Gem,
+                }
+            }
+            StorageAllocation::Disk { .. } => Served {
+                done: {
+                    let t = self.db_disk_time;
+                    part.disk_for(page).offer(now, t)
+                },
+                class: AccessClass::DbDisk,
+            },
+            StorageAllocation::CachedDisk { .. } => {
+                let nonvolatile = part.nonvolatile;
+                let cache = part.cache.as_mut().expect("cached allocation has cache");
+                cache.insert(page.number(), ());
+                if nonvolatile {
+                    let done = part
+                        .controller
+                        .as_mut()
+                        .expect("cached allocation has controller")
+                        .offer(now, self.cache_hit_time);
+                    // Asynchronous destage: occupies the array but the
+                    // caller does not wait.
+                    let t = self.db_disk_time;
+                    part.disk_for(page).offer(now, t);
+                    Served {
+                        done,
+                        class: AccessClass::NvCacheWrite,
+                    }
+                } else {
+                    Served {
+                        done: {
+                            let t = self.db_disk_time;
+                            part.disk_for(page).offer(now, t)
+                        },
+                        class: AccessClass::DbDisk,
+                    }
+                }
+            }
+            StorageAllocation::WriteBufferedDisk { .. } => {
+                // §2 usage form 2: the write lands in the non-volatile
+                // GEM buffer (~50 µs) and destages asynchronously. The
+                // short CPU-held window is folded into the queued GEM
+                // access (its 50 µs is negligible against the 300-
+                // instruction initiation).
+                let cache = part.cache.as_mut().expect("write buffer exists");
+                cache.insert(page.number(), ());
+                self.gem_page_ops += 1;
+                let done = self.gem.offer(now, self.gem_page_time);
+                let t = self.db_disk_time;
+                part.disk_for(page).offer(now, t); // async destage
+                Served {
+                    done,
+                    class: AccessClass::Gem,
+                }
+            }
+        }
+    }
+
+    /// Appends one page to `node`'s log (commit phase 1, §3.2). With
+    /// [`LogStorage::Gem`](dbshare_model::LogStorage) the record goes to
+    /// GEM instead of the node's log disks (§2 extension).
+    pub fn write_log(&mut self, now: SimTime, node: NodeId) -> Served {
+        if self.log_in_gem {
+            self.gem_page_ops += 1;
+            return Served {
+                done: self.gem.offer(now, self.gem_page_time),
+                class: AccessClass::Gem,
+            };
+        }
+        Served {
+            done: self.log[node.index()].offer(now, self.log_time),
+            class: AccessClass::LogDisk,
+        }
+    }
+
+    /// True if the commit log is GEM-resident.
+    pub fn log_is_gem(&self) -> bool {
+        self.log_in_gem
+    }
+
+    /// True if writes to `page` complete in GEM (GEM-resident partition
+    /// or a GEM write buffer in front of the disks).
+    pub fn write_goes_to_gem(&self, page: PageId) -> bool {
+        matches!(
+            self.parts[page.partition().index()].alloc,
+            StorageAllocation::Gem | StorageAllocation::WriteBufferedDisk { .. }
+        )
+    }
+
+    /// Performs `count` synchronous GEM *entry* accesses (global lock
+    /// table reads and Compare&Swap writes). The accesses are issued
+    /// back-to-back, which on the FIFO GEM server is equivalent to one
+    /// request of `count ×` the entry time.
+    pub fn gem_entries(&mut self, now: SimTime, count: u32) -> SimTime {
+        self.gem_entry_ops += count as u64;
+        self.gem.offer(now, self.gem_entry_time * count as u64)
+    }
+
+    /// Performs `count` synchronous GEM *page* accesses back-to-back
+    /// (equivalent to one request of `count ×` the page time).
+    pub fn gem_pages(&mut self, now: SimTime, count: u32) -> SimTime {
+        self.gem_page_ops += count as u64;
+        self.gem.offer(now, self.gem_page_time * count as u64)
+    }
+
+    /// Performs `count` lock operations on the central lock engine
+    /// (\[Yu87\] comparison, §5): same protocol as the GEM global lock
+    /// table, 100–500 µs per operation instead of 2 µs.
+    pub fn lock_engine_ops(&mut self, now: SimTime, count: u32) -> SimTime {
+        self.lock_engine
+            .offer(now, self.lock_engine_time * count as u64)
+    }
+
+    /// Transfers one page through GEM (the `PageTransferMode::Gem`
+    /// extension: writer stores the page, reader fetches it).
+    pub fn gem_page_op(&mut self, now: SimTime) -> SimTime {
+        self.gem_page_ops += 1;
+        self.gem.offer(now, self.gem_page_time)
+    }
+
+    /// Sends `bytes` over the interconnection network; returns delivery
+    /// time (transmission only — CPU send/receive overhead is charged
+    /// by the engine on the nodes' CPUs).
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.messages += 1;
+        let wire = SimDuration::from_secs_f64(bytes as f64 / (self.bandwidth_mb_s * 1e6));
+        self.network.offer(now, wire)
+    }
+
+    /// True if pages of `page`'s partition live in GEM (synchronous
+    /// access, 300-instruction I/O initiation).
+    pub fn is_gem_resident(&self, page: PageId) -> bool {
+        matches!(
+            self.parts[page.partition().index()].alloc,
+            StorageAllocation::Gem
+        )
+    }
+
+    /// Restarts device statistics windows (end of warm-up).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        for p in &mut self.parts {
+            for d in &mut p.disks {
+                d.reset_stats(now);
+            }
+            if let Some(c) = p.controller.as_mut() {
+                c.reset_stats(now);
+            }
+            p.reads = 0;
+            p.read_hits = 0;
+            p.writes = 0;
+        }
+        for l in &mut self.log {
+            l.reset_stats(now);
+        }
+        self.gem.reset_stats(now);
+        self.lock_engine.reset_stats(now);
+        self.network.reset_stats(now);
+        self.gem_page_ops = 0;
+        self.gem_entry_ops = 0;
+        self.messages = 0;
+        self.stats_since = now;
+    }
+
+    /// Device utilization and traffic report over the statistics window.
+    pub fn report(&self, now: SimTime) -> DeviceReport {
+        let since = self.stats_since;
+        DeviceReport {
+            gem_utilization: self.gem.utilization_since(since, now),
+            lock_engine_utilization: self.lock_engine.utilization_since(since, now),
+            network_utilization: self.network.utilization_since(since, now),
+            gem_page_ops: self.gem_page_ops,
+            gem_entry_ops: self.gem_entry_ops,
+            messages: self.messages,
+            partitions: self
+                .parts
+                .iter()
+                .map(|p| PartitionTraffic {
+                    reads: p.reads,
+                    read_hits: p.read_hits,
+                    writes: p.writes,
+                    disk_utilization: if p.disks.is_empty() {
+                        0.0
+                    } else {
+                        p.disks
+                            .iter()
+                            .map(|d| d.utilization_since(since, now))
+                            .sum::<f64>()
+                            / p.disks.len() as f64
+                    },
+                })
+                .collect(),
+            log_utilization: self
+                .log
+                .iter()
+                .map(|l| l.utilization_since(since, now))
+                .collect(),
+        }
+    }
+}
+
+/// Traffic counters for one partition's store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTraffic {
+    /// Page reads served.
+    pub reads: u64,
+    /// Reads that hit a disk cache.
+    pub read_hits: u64,
+    /// Page writes served.
+    pub writes: u64,
+    /// Utilization of the disk array.
+    pub disk_utilization: f64,
+}
+
+/// Snapshot of device statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// GEM server utilization (the paper reports <2% at 1000 TPS).
+    pub gem_utilization: f64,
+    /// Lock-engine utilization (0 unless `CouplingMode::LockEngine`).
+    pub lock_engine_utilization: f64,
+    /// Network utilization.
+    pub network_utilization: f64,
+    /// GEM page operations performed.
+    pub gem_page_ops: u64,
+    /// GEM entry operations performed.
+    pub gem_entry_ops: u64,
+    /// Messages transmitted.
+    pub messages: u64,
+    /// Per-partition traffic.
+    pub partitions: Vec<PartitionTraffic>,
+    /// Per-node log-disk utilization.
+    pub log_utilization: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_model::{PartitionConfig, PartitionId};
+
+    fn cfg_with(storage: StorageAllocation) -> SystemConfig {
+        let mut cfg = SystemConfig::debit_credit(2);
+        cfg.partitions.push(PartitionConfig {
+            name: "P".into(),
+            pages: 1_000,
+            locking: true,
+            storage,
+        });
+        cfg
+    }
+
+    fn page(n: u64) -> PageId {
+        PageId::new(PartitionId::new(0), n)
+    }
+
+    #[test]
+    fn disk_read_takes_16_4_ms() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(2)));
+        let r = s.read_page(SimTime::ZERO, page(1));
+        assert_eq!(r.class, AccessClass::DbDisk);
+        assert_eq!(r.done, SimTime::from_micros(16_400));
+        assert!(!r.class.is_synchronous());
+    }
+
+    #[test]
+    fn disk_array_queues_when_busy() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(1)));
+        let a = s.read_page(SimTime::ZERO, page(1));
+        let b = s.read_page(SimTime::ZERO, page(2));
+        assert_eq!(b.done, a.done + SimDuration::from_micros(16_400));
+    }
+
+    #[test]
+    fn gem_resident_read_takes_50_us_sync() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::Gem));
+        let r = s.read_page(SimTime::ZERO, page(1));
+        assert_eq!(r.class, AccessClass::Gem);
+        assert_eq!(r.done, SimTime::from_micros(50));
+        assert!(r.class.is_synchronous());
+        assert!(s.is_gem_resident(page(0)));
+    }
+
+    #[test]
+    fn cache_miss_then_hit() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::CachedDisk {
+            disks: 2,
+            cache_pages: 10,
+            nonvolatile: false,
+        }));
+        let miss = s.read_page(SimTime::ZERO, page(1));
+        assert_eq!(miss.class, AccessClass::DbDisk);
+        let hit = s.read_page(miss.done, page(1));
+        assert_eq!(hit.class, AccessClass::DiskCacheHit);
+        assert_eq!(hit.done - miss.done, SimDuration::from_micros(1_400));
+        let rep = s.report(hit.done);
+        assert_eq!(rep.partitions[0].reads, 2);
+        assert_eq!(rep.partitions[0].read_hits, 1);
+    }
+
+    #[test]
+    fn cache_lru_eviction() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::CachedDisk {
+            disks: 2,
+            cache_pages: 2,
+            nonvolatile: false,
+        }));
+        let mut t = SimTime::ZERO;
+        for n in [1u64, 2, 3] {
+            t = s.read_page(t, page(n)).done;
+        }
+        // page 1 was evicted by page 3
+        let r = s.read_page(t, page(1));
+        assert_eq!(r.class, AccessClass::DbDisk);
+        // page 3 still cached
+        let r = s.read_page(r.done, page(3));
+        assert_eq!(r.class, AccessClass::DiskCacheHit);
+    }
+
+    #[test]
+    fn nv_cache_absorbs_writes() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::CachedDisk {
+            disks: 2,
+            cache_pages: 10,
+            nonvolatile: true,
+        }));
+        let w = s.write_page(SimTime::ZERO, page(5));
+        assert_eq!(w.class, AccessClass::NvCacheWrite);
+        assert_eq!(w.done, SimTime::from_micros(1_400));
+        // subsequent read hits the cache
+        let r = s.read_page(w.done, page(5));
+        assert_eq!(r.class, AccessClass::DiskCacheHit);
+        // the destage occupied the array
+        let rep = s.report(SimTime::from_millis(100));
+        assert!(rep.partitions[0].disk_utilization > 0.0);
+    }
+
+    #[test]
+    fn volatile_cache_write_goes_to_disk_but_updates_cache() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::CachedDisk {
+            disks: 2,
+            cache_pages: 10,
+            nonvolatile: false,
+        }));
+        let w = s.write_page(SimTime::ZERO, page(5));
+        assert_eq!(w.class, AccessClass::DbDisk); // full disk latency
+        let r = s.read_page(w.done, page(5));
+        assert_eq!(r.class, AccessClass::DiskCacheHit); // global buffer effect
+    }
+
+    #[test]
+    fn log_write_takes_6_4_ms_per_node() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(1)));
+        let w = s.write_log(SimTime::ZERO, NodeId::new(1));
+        assert_eq!(w.class, AccessClass::LogDisk);
+        assert_eq!(w.done, SimTime::from_micros(6_400));
+    }
+
+    #[test]
+    fn gem_entries_serialize_on_server() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(1)));
+        let done = s.gem_entries(SimTime::ZERO, 2);
+        assert_eq!(done, SimTime::from_micros(4));
+        // utilization visible
+        let rep = s.report(SimTime::from_micros(400));
+        assert!((rep.gem_utilization - 0.01).abs() < 1e-6, "{}", rep.gem_utilization);
+        assert_eq!(rep.gem_entry_ops, 2);
+    }
+
+    #[test]
+    fn network_transmission_times() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(1)));
+        // 100 B at 10 MB/s = 10 µs
+        assert_eq!(s.send(SimTime::ZERO, 100), SimTime::from_micros(10));
+        // 4 KB queued behind it: 10 µs + 409.6 µs
+        assert_eq!(
+            s.send(SimTime::ZERO, 4096).as_nanos(),
+            10_000 + 409_600
+        );
+        assert_eq!(s.report(SimTime::from_millis(1)).messages, 2);
+    }
+
+    #[test]
+    fn write_buffered_disk_absorbs_writes_in_gem() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::WriteBufferedDisk {
+            disks: 2,
+            buffer_pages: 8,
+        }));
+        assert!(s.write_goes_to_gem(page(1)));
+        assert!(!s.is_gem_resident(page(1)));
+        let w = s.write_page(SimTime::ZERO, page(1));
+        assert_eq!(w.class, AccessClass::Gem);
+        assert_eq!(w.done, SimTime::from_micros(50));
+        // a read of the recently written page hits the buffer
+        let r = s.read_page(w.done, page(1));
+        assert_eq!(r.class, AccessClass::Gem);
+        // an unrelated page reads from disk
+        let r2 = s.read_page(r.done, page(2));
+        assert_eq!(r2.class, AccessClass::DbDisk);
+        // the destage occupied the disk array
+        let rep = s.report(SimTime::from_millis(100));
+        assert!(rep.partitions[0].disk_utilization > 0.0);
+    }
+
+    #[test]
+    fn write_buffer_evicts_lru_entries() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::WriteBufferedDisk {
+            disks: 2,
+            buffer_pages: 2,
+        }));
+        let mut t = SimTime::ZERO;
+        for n in [1u64, 3, 5] {
+            t = s.write_page(t, page(n)).done;
+        }
+        // page 1 fell out of the (destaged) buffer: read goes to disk
+        assert_eq!(s.read_page(t, page(1)).class, AccessClass::DbDisk);
+        assert_eq!(s.read_page(t, page(5)).class, AccessClass::Gem);
+    }
+
+    #[test]
+    fn gem_log_replaces_log_disks() {
+        let mut cfg = cfg_with(StorageAllocation::disk(1));
+        cfg.log_storage = dbshare_model::LogStorage::Gem;
+        let mut s = StorageSubsystem::new(&cfg);
+        assert!(s.log_is_gem());
+        let w = s.write_log(SimTime::ZERO, NodeId::new(0));
+        assert_eq!(w.class, AccessClass::Gem);
+        assert_eq!(w.done, SimTime::from_micros(50));
+        let rep = s.report(SimTime::from_millis(1));
+        assert_eq!(rep.log_utilization[0], 0.0);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut s = StorageSubsystem::new(&cfg_with(StorageAllocation::disk(1)));
+        s.read_page(SimTime::ZERO, page(1));
+        s.reset_stats(SimTime::from_millis(50));
+        let rep = s.report(SimTime::from_millis(100));
+        assert_eq!(rep.partitions[0].reads, 0);
+        assert_eq!(rep.partitions[0].disk_utilization, 0.0);
+    }
+}

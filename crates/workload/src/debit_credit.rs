@@ -1,0 +1,648 @@
+//! The debit-credit (TPC-A/B-style) workload of §3.1 / Table 4.1.
+//!
+//! Four record types — ACCOUNT, BRANCH, TELLER, HISTORY — with BRANCH
+//! and TELLER clustered into a single partition (the configuration used
+//! in all of the paper's experiments), so each transaction touches
+//! three pages: an ACCOUNT page, a HISTORY page (sequential append),
+//! and the BRANCH/TELLER page of its branch. The database scales with
+//! the aggregate transaction rate as required by the TPC benchmarks.
+
+use crate::Workload;
+use dbshare_model::gla::{GlaMap, PartitionGla};
+use dbshare_model::{
+    NodeId, PageId, PageRef, PartitionConfig, PartitionId, RoutingStrategy, StorageAllocation,
+    TxnSpec, TxnTypeId,
+};
+use desim::dist::Zipf;
+use desim::Rng;
+
+/// Partition index of the clustered BRANCH/TELLER file (clustered
+/// layout; in the unclustered layout this slot holds BRANCH alone).
+pub const BT: PartitionId = PartitionId::new(0);
+/// Partition index of the ACCOUNT file.
+pub const ACCOUNT: PartitionId = PartitionId::new(1);
+/// Partition index of the HISTORY file.
+pub const HISTORY: PartitionId = PartitionId::new(2);
+/// Partition index of the separate TELLER file (unclustered layout
+/// only, §3.1).
+pub const TELLER: PartitionId = PartitionId::new(3);
+/// TELLER records per page (Table 4.1: blocking factor 10).
+pub const TELLER_BLOCKING: u64 = 10;
+/// Tellers per branch (Table 4.1: 1000 tellers per 100 branches).
+pub const TELLERS_PER_BRANCH: u64 = 10;
+
+/// Records per ACCOUNT page (Table 4.1: blocking factor 10).
+pub const ACCOUNT_BLOCKING: u64 = 10;
+/// Records per HISTORY page (Table 4.1: blocking factor 20).
+pub const HISTORY_BLOCKING: u64 = 20;
+/// Branches per 100 TPS of aggregate rate (Table 4.1).
+pub const BRANCHES_PER_100TPS: u64 = 100;
+/// Accounts per 100 TPS of aggregate rate (Table 4.1: 10 million).
+pub const ACCOUNTS_PER_100TPS: u64 = 10_000_000;
+/// Fraction of ACCOUNT accesses that hit the transaction's own branch
+/// (TPC requirement, §3.1: 85%).
+pub const LOCAL_BRANCH_FRACTION: f64 = 0.85;
+
+/// Static geometry of a scaled debit-credit database.
+///
+/// ```rust
+/// use dbshare_workload::debit_credit::DebitCredit;
+/// let dc = DebitCredit::new(4, 100.0); // 4 nodes × 100 TPS
+/// assert_eq!(dc.branches(), 400);
+/// assert_eq!(dc.account_pages(), 4_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebitCredit {
+    nodes: u16,
+    branches: u64,
+    accounts: u64,
+}
+
+impl DebitCredit {
+    /// Builds the geometry for `nodes` nodes at `tps_per_node`
+    /// transactions per second each. The database size scales
+    /// proportionally with the aggregate rate (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or the rate is not positive.
+    pub fn new(nodes: u16, tps_per_node: f64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(tps_per_node > 0.0, "rate must be positive");
+        let scale = nodes as f64 * tps_per_node / 100.0;
+        let branches = ((BRANCHES_PER_100TPS as f64 * scale).round() as u64).max(nodes as u64);
+        // Exactly 100,000 accounts per branch (Table 4.1: 10M accounts
+        // per 100 branches), so the geometry identities hold for any
+        // fractional scale.
+        let accounts = branches * (ACCOUNTS_PER_100TPS / BRANCHES_PER_100TPS);
+        DebitCredit {
+            nodes,
+            branches,
+            accounts,
+        }
+    }
+
+    /// Number of nodes the geometry was scaled for.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Total branches (one BRANCH/TELLER page each, due to clustering).
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Total accounts.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    /// Accounts per branch.
+    pub fn accounts_per_branch(&self) -> u64 {
+        self.accounts / self.branches
+    }
+
+    /// ACCOUNT pages (blocking factor 10). Account pages are laid out
+    /// branch-contiguously: all pages of branch `b` precede those of
+    /// branch `b+1`, which makes branch-ranged GLA allocation exact.
+    pub fn account_pages(&self) -> u64 {
+        self.accounts / ACCOUNT_BLOCKING
+    }
+
+    /// ACCOUNT pages per branch.
+    pub fn account_pages_per_branch(&self) -> u64 {
+        self.accounts_per_branch() / ACCOUNT_BLOCKING
+    }
+
+    /// BRANCH/TELLER pages (clustered: one page per branch).
+    pub fn bt_pages(&self) -> u64 {
+        self.branches
+    }
+
+    /// The node that owns branch `b` under affinity-based routing
+    /// (contiguous equal ranges, §3.1).
+    pub fn branch_node(&self, branch: u64) -> NodeId {
+        debug_assert!(branch < self.branches);
+        NodeId::new((branch as u128 * self.nodes as u128 / self.branches as u128) as u16)
+    }
+
+    /// The BRANCH/TELLER page of branch `b`.
+    pub fn bt_page(&self, branch: u64) -> PageId {
+        PageId::new(BT, branch)
+    }
+
+    /// The ACCOUNT page holding `account`.
+    pub fn account_page(&self, account: u64) -> PageId {
+        PageId::new(ACCOUNT, account / ACCOUNT_BLOCKING)
+    }
+
+    /// The branch an account belongs to.
+    pub fn account_branch(&self, account: u64) -> u64 {
+        account / self.accounts_per_branch()
+    }
+
+    /// The database layout with the default "sufficient disks" storage
+    /// allocation (§4.2 allocates enough disks to avoid I/O
+    /// bottlenecks; we scale arrays with the aggregate rate).
+    pub fn partitions(&self, tps_per_node: f64) -> Vec<PartitionConfig> {
+        let hundreds = ((self.nodes as f64 * tps_per_node) / 100.0).ceil() as u32;
+        vec![
+            PartitionConfig {
+                name: "BRANCH/TELLER".into(),
+                pages: self.bt_pages(),
+                locking: true,
+                storage: StorageAllocation::disk(5 * hundreds),
+            },
+            PartitionConfig {
+                name: "ACCOUNT".into(),
+                pages: self.account_pages(),
+                locking: true,
+                storage: StorageAllocation::disk(6 * hundreds),
+            },
+            PartitionConfig {
+                name: "HISTORY".into(),
+                // Nominal size; HISTORY grows by appends, the simulator
+                // only tracks per-node append cursors.
+                pages: 1 << 40,
+                locking: false,
+                storage: StorageAllocation::disk(3 * hundreds),
+            },
+        ]
+    }
+
+    /// The branch-ranged GLA map used by PCL (§3.2: each node holds the
+    /// GLA for an equal number of branches and their associated
+    /// TELLER, ACCOUNT and HISTORY records).
+    pub fn gla_map(&self) -> GlaMap {
+        GlaMap::new(
+            self.nodes,
+            vec![
+                // BRANCH/TELLER: one page per branch.
+                PartitionGla::Ranged {
+                    units: self.branches,
+                    unit_pages: 1,
+                },
+                // ACCOUNT: contiguous pages per branch.
+                PartitionGla::Ranged {
+                    units: self.branches,
+                    unit_pages: self.account_pages_per_branch(),
+                },
+                // HISTORY is not locked; hash is irrelevant but total.
+                PartitionGla::Hashed,
+            ],
+        )
+    }
+}
+
+/// The debit-credit workload source: draws transactions, routes them
+/// (randomly or by branch affinity), and maintains per-node HISTORY
+/// append cursors.
+#[derive(Debug, Clone)]
+pub struct DebitCreditWorkload {
+    dc: DebitCredit,
+    routing: RoutingStrategy,
+    /// §3.1: clustering stores TELLER records in their BRANCH record's
+    /// page, reducing the transaction to three page accesses and three
+    /// locks. All of the paper's experiments cluster; the unclustered
+    /// variant (four pages, four locks) is supported for completeness.
+    clustered: bool,
+    partitions: Vec<PartitionConfig>,
+    /// Per-node count of appended history records (blocking factor 20
+    /// means a new page every 20 appends — the paper's 95% "hit ratio").
+    history_records: Vec<u64>,
+    /// Round-robin cursor for balanced random routing.
+    rr_next: u16,
+    /// Optional Zipf skew over the accounts *within* a branch (the
+    /// TPC-style uniform account selection is the paper's default; the
+    /// skewed variant is a reproduction extension that creates ACCOUNT
+    /// rereference locality and lock contention).
+    account_zipf: Option<Zipf>,
+}
+
+impl DebitCreditWorkload {
+    /// Creates the workload for the given geometry and routing strategy.
+    pub fn new(dc: DebitCredit, tps_per_node: f64, routing: RoutingStrategy) -> Self {
+        let partitions = dc.partitions(tps_per_node);
+        let nodes = dc.nodes() as usize;
+        DebitCreditWorkload {
+            dc,
+            routing,
+            clustered: true,
+            partitions,
+            history_records: vec![0; nodes],
+            rr_next: 0,
+            account_zipf: None,
+        }
+    }
+
+    /// Switches to the unclustered layout (§3.1): BRANCH and TELLER as
+    /// separate partitions, four page accesses and four page locks per
+    /// transaction.
+    pub fn unclustered(mut self) -> Self {
+        self.clustered = false;
+        // BRANCH alone in slot 0 (one record per page, bf 1).
+        self.partitions[BT.index()].name = "BRANCH".into();
+        // TELLER gets its own partition: 10 tellers per branch at
+        // blocking factor 10 = one page per branch.
+        let disks = match self.partitions[BT.index()].storage {
+            StorageAllocation::Disk { disks } => disks,
+            _ => 2,
+        };
+        self.partitions.push(PartitionConfig {
+            name: "TELLER".into(),
+            pages: self.dc.branches(),
+            locking: true,
+            storage: StorageAllocation::disk(disks),
+        });
+        self
+    }
+
+    /// The teller page of `branch` (unclustered layout).
+    pub fn teller_page(&self, branch: u64) -> PageId {
+        PageId::new(TELLER, branch * TELLERS_PER_BRANCH / TELLER_BLOCKING)
+    }
+
+    /// Skews account selection within each branch by Zipf(`alpha`)
+    /// instead of the TPC-mandated uniform choice (extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn with_account_skew(mut self, alpha: f64) -> Self {
+        self.account_zipf = Some(Zipf::new(self.dc.accounts_per_branch(), alpha));
+        self
+    }
+
+    /// The underlying geometry.
+    pub fn geometry(&self) -> &DebitCredit {
+        &self.dc
+    }
+
+    fn route(&mut self, rng: &mut Rng, branch: u64) -> NodeId {
+        match self.routing {
+            RoutingStrategy::Affinity => self.dc.branch_node(branch),
+            RoutingStrategy::Random => {
+                // "Balanced" random: round-robin over nodes keeps the
+                // per-node load equal (§3.1) while the branch choice
+                // stays random.
+                let _ = rng;
+                let n = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.dc.nodes();
+                NodeId::new(n)
+            }
+        }
+    }
+
+    /// Per-node history page for the next append; each node appends to
+    /// its own history extent (nodes never share a history tail — the
+    /// paper reports no coherency effects on HISTORY).
+    fn history_page(&mut self, node: NodeId) -> PageId {
+        let recs = &mut self.history_records[node.index()];
+        let page_in_stream = *recs / HISTORY_BLOCKING;
+        *recs += 1;
+        // Interleave node streams in the page number space.
+        PageId::new(
+            HISTORY,
+            page_in_stream * self.dc.nodes() as u64 + node.index() as u64,
+        )
+    }
+}
+
+impl Workload for DebitCreditWorkload {
+    fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec) {
+        let dc = self.dc.clone();
+        let branch = rng.below(dc.branches());
+        let node = self.route(rng, branch);
+
+        // 85% of ACCOUNT accesses hit the transaction's own branch.
+        let within = |rng: &mut Rng, zipf: &Option<Zipf>| -> u64 {
+            match zipf {
+                Some(z) => z.sample(rng) - 1,
+                None => rng.below(dc.accounts_per_branch()),
+            }
+        };
+        let account = if rng.chance(LOCAL_BRANCH_FRACTION) || dc.branches() == 1 {
+            branch * dc.accounts_per_branch() + within(rng, &self.account_zipf)
+        } else {
+            // A different branch, uniform over the others.
+            let other = {
+                let x = rng.below(dc.branches() - 1);
+                if x >= branch {
+                    x + 1
+                } else {
+                    x
+                }
+            };
+            other * dc.accounts_per_branch() + within(rng, &self.account_zipf)
+        };
+
+        let history = self.history_page(node);
+        // Access order (§3.1): ACCOUNT first, the sequential HISTORY
+        // insert, and the small TELLER and BRANCH records last to keep
+        // their locks held as briefly as possible. All four record
+        // types are updated; clustering folds BRANCH+TELLER into one
+        // page write (two record accesses).
+        let refs = if self.clustered {
+            vec![
+                PageRef::write(dc.account_page(account)),
+                PageRef::append(history),
+                PageRef::write(dc.bt_page(branch)).with_records(2),
+            ]
+        } else {
+            vec![
+                PageRef::write(dc.account_page(account)),
+                PageRef::append(history),
+                PageRef::write(self.teller_page(branch)),
+                PageRef::write(dc.bt_page(branch)),
+            ]
+        };
+        (node, TxnSpec::new(TxnTypeId::new(0), branch, refs))
+    }
+
+    fn mean_accesses(&self) -> f64 {
+        // With BRANCH/TELLER clustering each transaction performs four
+        // record accesses on three pages; CPU cost is per record (§3.2).
+        4.0
+    }
+
+    fn partitions(&self) -> &[PartitionConfig] {
+        &self.partitions
+    }
+
+    fn gla_map(&self) -> GlaMap {
+        let mut map = self.dc.gla_map();
+        if !self.clustered {
+            map = GlaMap::new(
+                self.dc.nodes(),
+                vec![
+                    PartitionGla::Ranged { units: self.dc.branches(), unit_pages: 1 },
+                    PartitionGla::Ranged {
+                        units: self.dc.branches(),
+                        unit_pages: self.dc.account_pages_per_branch(),
+                    },
+                    PartitionGla::Hashed,
+                    // TELLER: one page per branch, branch-aligned
+                    PartitionGla::Ranged { units: self.dc.branches(), unit_pages: 1 },
+                ],
+            );
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_scales_with_rate() {
+        let dc = DebitCredit::new(10, 100.0);
+        assert_eq!(dc.branches(), 1_000);
+        assert_eq!(dc.accounts(), 100_000_000); // paper: 100M accounts at 10 nodes
+        assert_eq!(dc.account_pages(), 10_000_000);
+        assert_eq!(dc.accounts_per_branch(), 100_000);
+        assert_eq!(dc.bt_pages(), 1_000);
+    }
+
+    #[test]
+    fn central_case_geometry() {
+        let dc = DebitCredit::new(1, 100.0);
+        assert_eq!(dc.branches(), 100);
+        assert_eq!(dc.accounts(), 10_000_000);
+        assert_eq!(dc.account_pages_per_branch(), 10_000);
+    }
+
+    #[test]
+    fn branch_node_is_balanced_and_contiguous() {
+        let dc = DebitCredit::new(4, 100.0);
+        let mut counts = [0u32; 4];
+        let mut last = NodeId::new(0);
+        for b in 0..dc.branches() {
+            let n = dc.branch_node(b);
+            counts[n.index()] += 1;
+            assert!(n >= last, "assignment must be monotone");
+            last = n;
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn account_page_layout_branch_contiguous() {
+        let dc = DebitCredit::new(2, 100.0);
+        let apb = dc.accounts_per_branch();
+        // first account of branch 3 lands on page 3 * pages_per_branch
+        let acct = 3 * apb;
+        assert_eq!(
+            dc.account_page(acct).number(),
+            3 * dc.account_pages_per_branch()
+        );
+        assert_eq!(dc.account_branch(acct), 3);
+        assert_eq!(dc.account_branch(acct - 1), 2);
+    }
+
+    #[test]
+    fn txn_shape_three_pages_ordered() {
+        let dc = DebitCredit::new(2, 100.0);
+        let mut w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity);
+        let mut rng = Rng::seed_from_u64(1);
+        let (_, spec) = w.next(&mut rng);
+        let refs = spec.refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].page.partition(), ACCOUNT);
+        assert_eq!(refs[1].page.partition(), HISTORY);
+        assert_eq!(refs[2].page.partition(), BT);
+        assert!(refs.iter().all(|r| r.mode.is_write()));
+        assert!(refs[1].append && !refs[0].append && !refs[2].append);
+        assert!(spec.is_update());
+    }
+
+    #[test]
+    fn affinity_routes_by_branch() {
+        let dc = DebitCredit::new(4, 100.0);
+        let mut w = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..500 {
+            let (node, spec) = w.next(&mut rng);
+            assert_eq!(node, dc.branch_node(spec.affinity_key()));
+            // the B/T page is always the local branch's page
+            assert_eq!(spec.refs()[2].page.number(), spec.affinity_key());
+        }
+    }
+
+    #[test]
+    fn random_routing_is_balanced() {
+        let dc = DebitCredit::new(5, 100.0);
+        let mut w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Random);
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..1_000 {
+            let (node, _) = w.next(&mut rng);
+            counts[node.index()] += 1;
+        }
+        assert_eq!(counts, [200; 5]);
+    }
+
+    #[test]
+    fn account_local_fraction_near_85_percent() {
+        let dc = DebitCredit::new(2, 100.0);
+        let mut w = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut local = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            let (_, spec) = w.next(&mut rng);
+            let acct_page = spec.refs()[0].page.number();
+            let acct_branch = acct_page / dc.account_pages_per_branch();
+            if acct_branch == spec.affinity_key() {
+                local += 1;
+            }
+        }
+        let frac = local as f64 / n as f64;
+        assert!((0.84..0.86).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn history_appends_advance_every_20_records() {
+        let dc = DebitCredit::new(1, 100.0);
+        let mut w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut pages = Vec::new();
+        for _ in 0..40 {
+            let (_, spec) = w.next(&mut rng);
+            pages.push(spec.refs()[1].page.number());
+        }
+        // first 20 appends share a page, next 20 the following page
+        assert!(pages[..20].iter().all(|&p| p == pages[0]));
+        assert!(pages[20..].iter().all(|&p| p == pages[20]));
+        assert_ne!(pages[0], pages[20]);
+    }
+
+    #[test]
+    fn history_streams_are_per_node() {
+        let dc = DebitCredit::new(2, 100.0);
+        let mut w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Random);
+        let mut rng = Rng::seed_from_u64(6);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..100 {
+            let (node, spec) = w.next(&mut rng);
+            seen.push((node.index(), spec.refs()[1].page.number()));
+        }
+        // no history page is shared between nodes
+        for &(n1, p1) in &seen {
+            for &(n2, p2) in &seen {
+                if p1 == p2 {
+                    assert_eq!(n1, n2, "page {p1} shared by nodes {n1} and {n2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn account_skew_creates_rereference_locality() {
+        let dc = DebitCredit::new(1, 100.0);
+        let mut uniform = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity);
+        let mut skewed = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity)
+            .with_account_skew(1.2);
+        let mut rng_u = Rng::seed_from_u64(9);
+        let mut rng_s = Rng::seed_from_u64(9);
+        let distinct = |w: &mut DebitCreditWorkload, rng: &mut Rng| {
+            let mut pages = std::collections::HashSet::new();
+            for _ in 0..5_000 {
+                let (_, spec) = w.next(rng);
+                pages.insert(spec.refs()[0].page);
+            }
+            pages.len()
+        };
+        let u = distinct(&mut uniform, &mut rng_u);
+        let s = distinct(&mut skewed, &mut rng_s);
+        assert!(
+            s * 3 < u * 2,
+            "skewed accounts must concentrate: {s} vs {u} distinct pages"
+        );
+    }
+
+    #[test]
+    fn partitions_layout() {
+        let dc = DebitCredit::new(2, 100.0);
+        let parts = dc.partitions(100.0);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[BT.index()].name, "BRANCH/TELLER");
+        assert!(parts[BT.index()].locking);
+        assert!(!parts[HISTORY.index()].locking);
+        assert_eq!(parts[ACCOUNT.index()].pages, 2_000_000);
+        // disk arrays scale with the aggregate rate
+        match parts[ACCOUNT.index()].storage {
+            StorageAllocation::Disk { disks } => assert_eq!(disks, 12),
+            _ => panic!("expected disks"),
+        }
+    }
+
+    #[test]
+    fn gla_follows_branch_ownership() {
+        let dc = DebitCredit::new(4, 100.0);
+        let gla = dc.gla_map();
+        for b in [0u64, 57, 200, 399] {
+            let node = dc.branch_node(b);
+            assert_eq!(gla.gla_of(dc.bt_page(b)), node, "B/T page of branch {b}");
+            let first_acct = b * dc.accounts_per_branch();
+            assert_eq!(
+                gla.gla_of(dc.account_page(first_acct)),
+                node,
+                "account page of branch {b}"
+            );
+            let last_acct = (b + 1) * dc.accounts_per_branch() - 1;
+            assert_eq!(gla.gla_of(dc.account_page(last_acct)), node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod unclustered_tests {
+    use super::*;
+
+    #[test]
+    fn unclustered_txns_access_four_pages() {
+        let dc = DebitCredit::new(2, 100.0);
+        let mut w =
+            DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity).unclustered();
+        let mut rng = Rng::seed_from_u64(3);
+        let (_, spec) = w.next(&mut rng);
+        let refs = spec.refs();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0].page.partition(), ACCOUNT);
+        assert_eq!(refs[1].page.partition(), HISTORY);
+        assert_eq!(refs[2].page.partition(), TELLER);
+        assert_eq!(refs[3].page.partition(), BT);
+        // every reference is a single record access now
+        assert!(refs.iter().all(|r| r.records == 1));
+        assert_eq!(Workload::partitions(&w).len(), 4);
+        assert_eq!(Workload::partitions(&w)[BT.index()].name, "BRANCH");
+        assert_eq!(Workload::partitions(&w)[TELLER.index()].name, "TELLER");
+    }
+
+    #[test]
+    fn unclustered_gla_keeps_branch_alignment() {
+        let dc = DebitCredit::new(4, 100.0);
+        let w = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity)
+            .unclustered();
+        let gla = Workload::gla_map(&w);
+        for b in [0u64, 123, 399] {
+            let node = dc.branch_node(b);
+            assert_eq!(gla.gla_of(dc.bt_page(b)), node);
+            assert_eq!(gla.gla_of(w.teller_page(b)), node);
+        }
+    }
+
+    #[test]
+    fn teller_pages_are_branch_exclusive() {
+        // With 10 tellers per branch and blocking factor 10, one page
+        // per branch: no false sharing between branches.
+        let dc = DebitCredit::new(2, 100.0);
+        let w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity).unclustered();
+        let mut seen = std::collections::HashMap::new();
+        for b in 0..200u64 {
+            let p = w.teller_page(b);
+            assert!(seen.insert(p, b).is_none(), "branches share teller page");
+        }
+    }
+}

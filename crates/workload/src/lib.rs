@@ -1,0 +1,89 @@
+//! # dbshare-workload — workload generation and allocation
+//!
+//! Implements §3.1 of the paper: the SOURCE component. Two workload
+//! families are provided:
+//!
+//! * [`debit_credit`] — the synthetically generated debit-credit
+//!   workload (the TPC-A/B precursor) with its scaled database,
+//!   record clustering, and 85/15 branch locality, and
+//! * [`trace`] — trace-driven workloads, including a synthetic trace
+//!   generator that substitutes for the paper's proprietary database
+//!   trace by matching every summary statistic §4.6 reports.
+//!
+//! Workload *allocation* (§3.1) is supported through balanced random
+//! routing and affinity-based routing; [`routing`] contains the
+//! iterative heuristics that compute routing tables and GLA chunk
+//! assignments for trace workloads (\[Ra92b\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod debit_credit;
+pub mod routing;
+pub mod trace;
+
+pub use debit_credit::{DebitCredit, DebitCreditWorkload};
+pub use trace::{Trace, TraceGenConfig, TraceStats, TraceWorkload};
+
+use dbshare_model::gla::GlaMap;
+use dbshare_model::{NodeId, PartitionConfig, TxnSpec};
+use desim::Rng;
+
+/// Wraps a workload, overriding only its GLA map — e.g. to study a
+/// central lock manager (`GlaMap::central`) or a deliberately
+/// misaligned lock-authority allocation.
+///
+/// ```rust
+/// use dbshare_workload::{DebitCredit, DebitCreditWorkload, WithGlaMap, Workload};
+/// use dbshare_model::{gla::GlaMap, RoutingStrategy};
+/// let dc = DebitCredit::new(2, 100.0);
+/// let wl = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Random);
+/// let central = WithGlaMap::new(wl, GlaMap::central(2, 3));
+/// assert_eq!(central.gla_map().nodes(), 2);
+/// ```
+#[derive(Debug)]
+pub struct WithGlaMap<W> {
+    inner: W,
+    map: GlaMap,
+}
+
+impl<W: Workload> WithGlaMap<W> {
+    /// Wraps `inner`, replacing its GLA map with `map`.
+    pub fn new(inner: W, map: GlaMap) -> Self {
+        WithGlaMap { inner, map }
+    }
+}
+
+impl<W: Workload> Workload for WithGlaMap<W> {
+    fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec) {
+        self.inner.next(rng)
+    }
+    fn mean_accesses(&self) -> f64 {
+        self.inner.mean_accesses()
+    }
+    fn partitions(&self) -> &[PartitionConfig] {
+        self.inner.partitions()
+    }
+    fn gla_map(&self) -> GlaMap {
+        self.map.clone()
+    }
+}
+
+/// A source of routed transactions: the simulator pulls `(node, spec)`
+/// pairs and releases them according to the arrival process.
+///
+/// Implementations: [`DebitCreditWorkload`], [`TraceWorkload`].
+pub trait Workload {
+    /// Draws the next transaction and the node it is routed to.
+    fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec);
+
+    /// Mean *record* accesses per transaction (CPU is charged per
+    /// record access, §3.2).
+    fn mean_accesses(&self) -> f64;
+
+    /// The database layout this workload runs against.
+    fn partitions(&self) -> &[PartitionConfig];
+
+    /// The GLA assignment used by primary copy locking.
+    fn gla_map(&self) -> GlaMap;
+}

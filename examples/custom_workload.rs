@@ -1,0 +1,129 @@
+//! Plugging a custom workload into the simulator: implement
+//! [`Workload`] for a synthetic hotspot workload and study lock
+//! contention and deadlock behaviour under both coupling modes.
+//!
+//! Unlike debit-credit (which is deadlock-free by ordered access), this
+//! workload references pages in *random* order with a high write share,
+//! so the deadlock detector actually earns its keep.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use dbshare::model::gla::{GlaMap, PartitionGla};
+use dbshare::prelude::*;
+use dbshare::workload::Workload;
+use dbshare::desim::Rng;
+use dbshare::model::{PageId, TxnTypeId};
+
+/// An 80/20 hotspot workload: each transaction touches `refs_per_txn`
+/// pages of one partition, 80% of them inside a small hot set, each
+/// with a configurable write probability, in random order.
+struct Hotspot {
+    nodes: u16,
+    pages: u64,
+    hot_pages: u64,
+    refs_per_txn: usize,
+    write_frac: f64,
+    partitions: Vec<PartitionConfig>,
+    rr: u16,
+}
+
+impl Hotspot {
+    fn new(nodes: u16, pages: u64, hot_pages: u64, refs_per_txn: usize, write_frac: f64) -> Self {
+        Hotspot {
+            nodes,
+            pages,
+            hot_pages,
+            refs_per_txn,
+            write_frac,
+            partitions: vec![PartitionConfig {
+                name: "HOT".into(),
+                pages,
+                locking: true,
+                storage: StorageAllocation::disk(8 * nodes as u32),
+            }],
+            rr: 0,
+        }
+    }
+}
+
+impl Workload for Hotspot {
+    fn next(&mut self, rng: &mut Rng) -> (dbshare::model::NodeId, TxnSpec) {
+        let node = dbshare::model::NodeId::new(self.rr);
+        self.rr = (self.rr + 1) % self.nodes;
+        let mut refs = Vec::with_capacity(self.refs_per_txn);
+        let mut seen = std::collections::HashSet::new();
+        while refs.len() < self.refs_per_txn {
+            let page = if rng.chance(0.8) {
+                rng.below(self.hot_pages)
+            } else {
+                self.hot_pages + rng.below(self.pages - self.hot_pages)
+            };
+            if !seen.insert(page) {
+                continue; // distinct pages: isolates deadlocks to cross-txn order
+            }
+            let id = PageId::new(dbshare::model::PartitionId::new(0), page);
+            refs.push(if rng.chance(self.write_frac) {
+                PageRef::write(id)
+            } else {
+                PageRef::read(id)
+            });
+        }
+        (node, TxnSpec::new(TxnTypeId::new(0), 0, refs))
+    }
+
+    fn mean_accesses(&self) -> f64 {
+        self.refs_per_txn as f64
+    }
+
+    fn partitions(&self) -> &[PartitionConfig] {
+        &self.partitions
+    }
+
+    fn gla_map(&self) -> GlaMap {
+        // Hash pages across nodes: no locality to exploit.
+        GlaMap::new(self.nodes, vec![PartitionGla::Hashed])
+    }
+}
+
+fn run(write_frac: f64, coupling: CouplingMode) -> RunReport {
+    let nodes = 4;
+    let mut cfg = SystemConfig::debit_credit(nodes);
+    cfg.coupling = coupling;
+    cfg.update = UpdateStrategy::NoForce;
+    cfg.arrival_tps_per_node = 50.0;
+    cfg.cpu.per_access_instr = 20_000.0;
+    cfg.buffer_pages_per_node = 500;
+    cfg.run.warmup_txns = 300;
+    cfg.run.measured_txns = 3_000;
+    let wl = Hotspot::new(nodes, 40_000, 400, 8, write_frac);
+    cfg.partitions = Workload::partitions(&wl).to_vec();
+    Engine::new(cfg, Box::new(wl)).expect("valid config").run()
+}
+
+fn main() {
+    println!(
+        "{:<10} {:<6} {:>10} {:>12} {:>10} {:>10}",
+        "writes", "mode", "resp", "lock wait", "deadlocks", "conflicts"
+    );
+    for write_frac in [0.0, 0.02, 0.08] {
+        for (coupling, label) in [(CouplingMode::GemLocking, "GEM"), (CouplingMode::Pcl, "PCL")] {
+            let r = run(write_frac, coupling);
+            println!(
+                "{:<10} {:<6} {:>8.1}ms {:>10.2}ms {:>10} {:>10.3}",
+                format!("{:.0}%", write_frac * 100.0),
+                label,
+                r.mean_response_ms,
+                r.lock_wait_ms,
+                r.deadlock_aborts,
+                r.lock_waits_per_txn,
+            );
+        }
+    }
+    println!(
+        "\nRandom-order accesses with a hot set: lock waits and deadlock\n\
+         aborts grow with the write share — the machinery debit-credit\n\
+         never exercises (its ordered accesses cannot deadlock, §3.1)."
+    );
+}

@@ -1,0 +1,251 @@
+//! Tests of the reproduction's extension features: the §2 GEM usage
+//! forms beyond the paper's figures (GEM-resident logs, GEM write
+//! buffers, GEM page transfers) and the [Ra92a] claim the paper cites.
+
+use dbshare::model::{LogStorage, PageTransferMode};
+use dbshare::prelude::*;
+
+fn quick() -> RunLength {
+    RunLength {
+        warmup: 400,
+        measured: 2_500,
+    }
+}
+
+#[test]
+fn gem_log_removes_the_log_disk_delay() {
+    // §2 usage form 1: keeping the log in GEM replaces the 6.4 ms log
+    // write with a ~50 µs GEM write, visible in NOFORCE response times
+    // (the log write is the only commit I/O under NOFORCE).
+    let disk_log = debit_credit_run(DebitCreditRun::baseline(2, quick()));
+    let gem_log = debit_credit_run(DebitCreditRun {
+        log: LogStorage::Gem,
+        ..DebitCreditRun::baseline(2, quick())
+    });
+    let gain = disk_log.mean_response_ms - gem_log.mean_response_ms;
+    assert!(
+        (4.0..10.0).contains(&gain),
+        "expected ~6.4 ms log-delay gain, got {gain} ({} vs {})",
+        disk_log.mean_response_ms,
+        gem_log.mean_response_ms
+    );
+}
+
+#[test]
+fn force_approaches_noforce_with_all_writes_in_gem() {
+    // §2 cites [Ra92a]: "FORCE can approach the performance of NOFORCE
+    // when the force-writes go to non-volatile semiconductor memory."
+    // With BRANCH/TELLER in GEM, HISTORY and ACCOUNT behind GEM write
+    // buffers, and the log in GEM, the entire FORCE commit costs
+    // microseconds.
+    let mk = |update, bt, log| {
+        let mut run = DebitCreditRun {
+            update,
+            buffer: 1_000,
+            bt,
+            log,
+            ..DebitCreditRun::baseline(4, quick())
+        };
+        run.routing = RoutingStrategy::Affinity;
+        let mut report = None;
+        // HISTORY/ACCOUNT write buffers are not part of DebitCreditRun;
+        // build the config manually for the FORCE case.
+        if update == UpdateStrategy::Force {
+            let tps = 100.0;
+            let mut cfg = SystemConfig::debit_credit(run.nodes);
+            cfg.update = update;
+            cfg.buffer_pages_per_node = run.buffer;
+            cfg.log_storage = log;
+            cfg.run.warmup_txns = run.run.warmup;
+            cfg.run.measured_txns = run.run.measured;
+            let dc = DebitCredit::new(run.nodes, tps);
+            let wl = DebitCreditWorkload::new(dc, tps, run.routing);
+            cfg.partitions = dbshare::workload::Workload::partitions(&wl).to_vec();
+            use dbshare::model::StorageAllocation;
+            cfg.partitions[0].storage = StorageAllocation::Gem; // B/T
+            for idx in [1usize, 2] {
+                // ACCOUNT, HISTORY: disks with GEM write buffers
+                let disks = match cfg.partitions[idx].storage {
+                    StorageAllocation::Disk { disks } => disks,
+                    _ => unreachable!("debit-credit defaults to disks"),
+                };
+                cfg.partitions[idx].storage = StorageAllocation::WriteBufferedDisk {
+                    disks,
+                    buffer_pages: 4_096,
+                };
+            }
+            report = Some(Engine::new(cfg, Box::new(wl)).expect("valid").run());
+        }
+        report.unwrap_or_else(|| debit_credit_run(run))
+    };
+    let noforce = debit_credit_run(DebitCreditRun {
+        update: UpdateStrategy::NoForce,
+        buffer: 1_000,
+        log: LogStorage::Gem,
+        ..DebitCreditRun::baseline(4, quick())
+    });
+    let force_gem = mk(UpdateStrategy::Force, BtStorage::Gem, LogStorage::Gem);
+    // On disk the FORCE penalty is huge (>100 ms); with every write in
+    // non-volatile semiconductor memory it collapses to the CPU cost of
+    // the four sequential I/O initiations (~a few ms of queueing at 65%
+    // CPU utilization) — "approaching" NOFORCE, as [Ra92a] reports.
+    assert!(
+        force_gem.mean_response_ms < noforce.mean_response_ms + 12.0,
+        "FORCE-all-GEM {} should approach NOFORCE {}",
+        force_gem.mean_response_ms,
+        noforce.mean_response_ms
+    );
+}
+
+#[test]
+fn gem_write_buffer_speeds_up_force_like_an_nv_cache() {
+    // §2 usage form 2: a small non-volatile GEM write buffer absorbs
+    // the force-write; reads still mostly go to disk.
+    let disk = debit_credit_run(DebitCreditRun {
+        update: UpdateStrategy::Force,
+        buffer: 1_000,
+        ..DebitCreditRun::baseline(4, quick())
+    });
+    let wb = debit_credit_run(DebitCreditRun {
+        update: UpdateStrategy::Force,
+        buffer: 1_000,
+        bt: BtStorage::GemWriteBuffer,
+        ..DebitCreditRun::baseline(4, quick())
+    });
+    assert!(
+        wb.mean_response_ms < disk.mean_response_ms - 8.0,
+        "write buffer {} vs disk {}",
+        wb.mean_response_ms,
+        disk.mean_response_ms
+    );
+}
+
+#[test]
+fn gem_page_transfers_relieve_the_network() {
+    // §6: "Using GEM for implementing the page transfers would also
+    // improve coherency control performance for NOFORCE."
+    let net = debit_credit_run(DebitCreditRun {
+        routing: RoutingStrategy::Random,
+        buffer: 1_000,
+        ..DebitCreditRun::baseline(8, quick())
+    });
+    let gem = debit_credit_run(DebitCreditRun {
+        routing: RoutingStrategy::Random,
+        buffer: 1_000,
+        transfer: PageTransferMode::Gem,
+        ..DebitCreditRun::baseline(8, quick())
+    });
+    // Pages stop crossing the wire: network utilization drops hard.
+    assert!(
+        gem.network_utilization < net.network_utilization * 0.4,
+        "network util {} vs {}",
+        gem.network_utilization,
+        net.network_utilization
+    );
+    // and response time stays competitive
+    assert!(
+        gem.mean_response_ms < net.mean_response_ms * 1.05,
+        "gem {} vs network {}",
+        gem.mean_response_ms,
+        net.mean_response_ms
+    );
+}
+
+#[test]
+fn central_lock_engine_saturates_where_gem_does_not() {
+    // §5 on [Yu87]: "lock service times between 100 and 500 µs were
+    // assumed so that much smaller transaction rates than with GEM
+    // locking could be supported." At 300 µs/op a single lock engine
+    // saturates inside the paper's node range; GEM stays below 3%.
+    use dbshare::model::CouplingMode;
+    use dbshare::prelude::experiments::debit_credit_run_with;
+    let gem = debit_credit_run(DebitCreditRun {
+        routing: RoutingStrategy::Random,
+        ..DebitCreditRun::baseline(6, quick())
+    });
+    let engine = debit_credit_run_with(
+        DebitCreditRun {
+            coupling: CouplingMode::LockEngine,
+            routing: RoutingStrategy::Random,
+            ..DebitCreditRun::baseline(6, quick())
+        },
+        |cfg| cfg.lock_engine.op_service_us = 300.0,
+    );
+    assert!(gem.gem_utilization < 0.03, "{}", gem.gem_utilization);
+    assert!(
+        engine.lock_engine_utilization > 0.85,
+        "engine util {}",
+        engine.lock_engine_utilization
+    );
+    assert!(
+        engine.mean_response_ms > gem.mean_response_ms * 2.0,
+        "engine {} vs GEM {}",
+        engine.mean_response_ms,
+        gem.mean_response_ms
+    );
+}
+
+#[test]
+fn clustering_saves_a_page_access_and_a_lock() {
+    // §3.1: clustering TELLER records with their BRANCH record "reduces
+    // the number of page accesses per transaction to three [...] for
+    // page-locking the number of locks per transaction is also reduced
+    // by one".
+    let clustered = debit_credit_run(DebitCreditRun::baseline(2, quick()));
+    let unclustered = debit_credit_run(DebitCreditRun {
+        clustered: false,
+        ..DebitCreditRun::baseline(2, quick())
+    });
+    assert!((clustered.lock_requests_per_txn - 2.0).abs() < 0.05);
+    assert!((unclustered.lock_requests_per_txn - 3.0).abs() < 0.05);
+    // the CPU path length is the same 4 record accesses either way
+    let cpu_diff = (unclustered.cpu_service_ms - clustered.cpu_service_ms).abs();
+    assert!(cpu_diff < 1.0, "cpu {cpu_diff}");
+    // but the extra page access costs an extra (possible) miss
+    assert!(
+        unclustered.mean_response_ms >= clustered.mean_response_ms - 1.0,
+        "unclustered {} vs clustered {}",
+        unclustered.mean_response_ms,
+        clustered.mean_response_ms
+    );
+}
+
+#[test]
+fn central_lock_manager_is_unbalanced_and_slower_than_pcl() {
+    // [Ra91b] baseline: a message-based central lock manager on node 0
+    // concentrates the whole system's lock-processing CPU there, while
+    // PCL's partitioned authority (with affinity) keeps locking local
+    // and the nodes balanced.
+    use dbshare::model::CouplingMode;
+    let pcl = debit_credit_run(DebitCreditRun {
+        coupling: CouplingMode::Pcl,
+        ..DebitCreditRun::baseline(4, quick())
+    });
+    let central = debit_credit_run(DebitCreditRun {
+        coupling: CouplingMode::Pcl,
+        central_lock_manager: true,
+        ..DebitCreditRun::baseline(4, quick())
+    });
+    // node 0 carries everyone's lock processing: visible imbalance
+    assert!(
+        central.cpu_utilization_max > central.cpu_utilization + 0.05,
+        "central LM should be unbalanced: avg {} max {}",
+        central.cpu_utilization,
+        central.cpu_utilization_max
+    );
+    assert!(
+        pcl.cpu_utilization_max < pcl.cpu_utilization + 0.03,
+        "partitioned PCL stays balanced: avg {} max {}",
+        pcl.cpu_utilization,
+        pcl.cpu_utilization_max
+    );
+    // and locks are mostly remote: ~1/N local
+    let local = central.local_lock_fraction.expect("PCL");
+    assert!((local - 0.25).abs() < 0.05, "central local share {local}");
+    assert!(
+        central.mean_response_ms > pcl.mean_response_ms + 2.0,
+        "central {} vs partitioned {}",
+        central.mean_response_ms,
+        pcl.mean_response_ms
+    );
+}

@@ -1,0 +1,191 @@
+//! Integration tests for the §4.6 real-life (synthetic trace) workload
+//! findings. These runs are heavier than the debit-credit tests, so
+//! they use short measurement windows; the shapes they assert are
+//! robust to that.
+
+use dbshare::prelude::*;
+
+fn quick() -> RunLength {
+    RunLength {
+        warmup: 300,
+        measured: 2_000,
+    }
+}
+
+fn run(nodes: u16, coupling: CouplingMode, routing: RoutingStrategy) -> RunReport {
+    trace_run(TraceRun {
+        nodes,
+        coupling,
+        routing,
+        read_optimization: true,
+        run: quick(),
+        seed: 0xDB5_4A6E,
+    })
+}
+
+#[test]
+fn trace_statistics_match_the_paper() {
+    // §4.6's description of the trace, reproduced by the synthesizer.
+    let t = Trace::synthesize(&TraceGenConfig::default(), 0xDB5_4A6E);
+    let s = t.stats();
+    assert!(s.txn_count > 17_500);
+    assert_eq!(s.types, 12);
+    assert!((900_000..1_150_000).contains(&s.total_refs));
+    assert!(s.max_txn_refs > 11_000);
+    let wf = s.write_refs as f64 / s.total_refs as f64;
+    assert!((0.012..0.020).contains(&wf), "write fraction {wf}");
+    let uf = s.update_txns as f64 / s.txn_count as f64;
+    assert!((0.17..0.23).contains(&uf), "update txns {uf}");
+    assert!((50_000..85_000).contains(&s.distinct_pages));
+}
+
+#[test]
+fn gem_cpu_utilization_is_moderate_and_balanced() {
+    // §4.6: "With GEM locking CPU utilization was balanced and merely
+    // about 45% for 50 TPS per node."
+    let r = run(4, CouplingMode::GemLocking, RoutingStrategy::Random);
+    assert!(
+        (0.35..0.55).contains(&r.cpu_utilization),
+        "cpu {}",
+        r.cpu_utilization
+    );
+    assert!(
+        r.cpu_utilization_max < r.cpu_utilization + 0.05,
+        "imbalanced: avg {} max {}",
+        r.cpu_utilization,
+        r.cpu_utilization_max
+    );
+}
+
+#[test]
+fn pcl_suffers_much_higher_cpu_utilization_under_random_routing() {
+    // §4.6: "In the loosely coupled configurations, CPU utilization was
+    // substantially higher [...] thereby reducing the achievable
+    // throughput."
+    let gem = run(4, CouplingMode::GemLocking, RoutingStrategy::Random);
+    let pcl = run(4, CouplingMode::Pcl, RoutingStrategy::Random);
+    assert!(
+        pcl.cpu_utilization > gem.cpu_utilization + 0.2,
+        "PCL {} vs GEM {}",
+        pcl.cpu_utilization,
+        gem.cpu_utilization
+    );
+    assert!(
+        pcl.norm_response_ms > gem.norm_response_ms,
+        "PCL {} vs GEM {}",
+        pcl.norm_response_ms,
+        gem.norm_response_ms
+    );
+}
+
+#[test]
+fn affinity_routing_beats_random_for_the_trace() {
+    // §4.6: random routing suffers replicated caching and lower
+    // inter-transaction locality; affinity routing preserves locality.
+    let random = run(4, CouplingMode::GemLocking, RoutingStrategy::Random);
+    let affinity = run(4, CouplingMode::GemLocking, RoutingStrategy::Affinity);
+    assert!(
+        affinity.reads_per_txn < random.reads_per_txn,
+        "affinity reads {} vs random {}",
+        affinity.reads_per_txn,
+        random.reads_per_txn
+    );
+    assert!(
+        affinity.norm_response_ms < random.norm_response_ms,
+        "affinity {} vs random {}",
+        affinity.norm_response_ms,
+        random.norm_response_ms
+    );
+}
+
+#[test]
+fn aggregate_buffer_growth_helps_affinity_scaling() {
+    // §4.6: "With affinity-based routing, we achieved better response
+    // times for the closely coupled configurations than in the central
+    // case [...] the aggregate buffer size increases while the database
+    // size remains constant."
+    let central = run(1, CouplingMode::GemLocking, RoutingStrategy::Affinity);
+    let eight = run(8, CouplingMode::GemLocking, RoutingStrategy::Affinity);
+    assert!(
+        eight.reads_per_txn < central.reads_per_txn * 0.85,
+        "reads {} vs {}",
+        eight.reads_per_txn,
+        central.reads_per_txn
+    );
+    assert!(
+        eight.norm_response_ms < central.norm_response_ms * 1.05,
+        "8 nodes {} vs central {}",
+        eight.norm_response_ms,
+        central.norm_response_ms
+    );
+}
+
+#[test]
+fn pcl_local_lock_share_decreases_with_nodes() {
+    // §4.6 (with read optimization): local shares fall with the node
+    // count for both routings, and affinity stays far above random.
+    let a2 = run(2, CouplingMode::Pcl, RoutingStrategy::Affinity)
+        .local_lock_fraction
+        .expect("PCL");
+    let a8 = run(8, CouplingMode::Pcl, RoutingStrategy::Affinity)
+        .local_lock_fraction
+        .expect("PCL");
+    let r8 = run(8, CouplingMode::Pcl, RoutingStrategy::Random)
+        .local_lock_fraction
+        .expect("PCL");
+    assert!(a2 > a8, "affinity share should fall: {a2} -> {a8}");
+    assert!(a8 > r8 + 0.2, "affinity {a8} vs random {r8}");
+    // random routing with the read optimization: paper reports 33% at 8
+    // nodes; raw 1/N would be 12.5%.
+    assert!((0.2..0.5).contains(&r8), "random share {r8}");
+}
+
+#[test]
+fn update_activity_is_too_low_to_matter() {
+    // §4.6: "Due to the low update frequency, buffer invalidations as
+    // well as lock conflicts had no significant impact on performance."
+    let r = run(4, CouplingMode::GemLocking, RoutingStrategy::Random);
+    assert!(r.invalidations_per_txn < 0.05, "{}", r.invalidations_per_txn);
+    assert!(
+        r.lock_wait_ms < r.norm_response_ms * 0.05,
+        "lock wait {} vs response {}",
+        r.lock_wait_ms,
+        r.norm_response_ms
+    );
+    assert_eq!(r.timeout_aborts, 0);
+}
+
+#[test]
+fn read_optimization_lifts_local_lock_shares() {
+    // §4.6: without the optimization the affinity shares are 63% @2 /
+    // 35% @8 and random shares are exactly the GLA-alignment fractions;
+    // "this optimization allowed a local processing for 78% (65%) of
+    // the locks for 2 nodes and 65% (33%) for 8 nodes with affinity
+    // (random) routing."
+    let share = |nodes, routing, read_optimization| {
+        trace_run(TraceRun {
+            nodes,
+            coupling: CouplingMode::Pcl,
+            routing,
+            read_optimization,
+            run: quick(),
+            seed: 0xDB5_4A6E,
+        })
+        .local_lock_fraction
+        .expect("PCL")
+    };
+    // random routing without the optimization: ~1/N
+    let raw_r8 = share(8, RoutingStrategy::Random, false);
+    assert!((raw_r8 - 0.125).abs() < 0.04, "raw random @8: {raw_r8}");
+    // the optimization lifts it substantially (paper: 12.5% -> 33%)
+    let opt_r8 = share(8, RoutingStrategy::Random, true);
+    assert!(
+        opt_r8 > raw_r8 + 0.1,
+        "read opt must lift the share: {raw_r8} -> {opt_r8}"
+    );
+    // affinity routing benefits too
+    let raw_a8 = share(8, RoutingStrategy::Affinity, false);
+    let opt_a8 = share(8, RoutingStrategy::Affinity, true);
+    assert!(opt_a8 > raw_a8, "{raw_a8} -> {opt_a8}");
+    assert!(opt_a8 > opt_r8, "affinity above random");
+}

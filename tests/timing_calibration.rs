@@ -1,0 +1,340 @@
+//! End-to-end timing calibration: at negligible load (1 TPS on a
+//! 40-MIPS node) queueing vanishes and mean response times must match
+//! hand-computed sums of the Table 4.1 cost components. These tests
+//! pin the engine's accounting: CPU slices, lock-processing overhead,
+//! synchronous GEM accesses, disk and log latencies, serial FORCE
+//! writes, and PCL message round trips.
+
+use dbshare::model::gla::{GlaMap, PartitionGla};
+use dbshare::prelude::*;
+use dbshare::desim::Rng;
+use dbshare::model::{LogStorage, NodeId, PageId, PartitionId, TxnTypeId};
+use dbshare::workload::Workload;
+
+/// A fully scripted workload: every transaction performs the same
+/// reference string over one partition; pages are chosen round-robin
+/// from a window so hit behaviour is predictable.
+struct Scripted {
+    nodes: u16,
+    window: u64,
+    refs: Vec<(bool, bool)>, // (write, append)
+    partitions: Vec<PartitionConfig>,
+    cursor: u64,
+    rr: u16,
+}
+
+impl Scripted {
+    fn new(nodes: u16, window: u64, refs: Vec<(bool, bool)>, storage: StorageAllocation) -> Self {
+        Scripted {
+            nodes,
+            window,
+            refs,
+            partitions: vec![PartitionConfig {
+                name: "S".into(),
+                pages: 1 << 30,
+                locking: true,
+                storage,
+            }],
+            cursor: 0,
+            rr: 0,
+        }
+    }
+}
+
+impl Workload for Scripted {
+    fn next(&mut self, _rng: &mut Rng) -> (NodeId, TxnSpec) {
+        let node = NodeId::new(self.rr);
+        self.rr = (self.rr + 1) % self.nodes;
+        let refs = self
+            .refs
+            .iter()
+            .enumerate()
+            .map(|(i, &(write, append))| {
+                let page = PageId::new(
+                    PartitionId::new(0),
+                    (self.cursor + i as u64) % self.window,
+                );
+                if append {
+                    PageRef::append(page)
+                } else if write {
+                    PageRef::write(page)
+                } else {
+                    PageRef::read(page)
+                }
+            })
+            .collect();
+        self.cursor = (self.cursor + self.refs.len() as u64) % self.window;
+        (node, TxnSpec::new(TxnTypeId::new(0), 0, refs))
+    }
+    fn mean_accesses(&self) -> f64 {
+        self.refs.len() as f64
+    }
+    fn partitions(&self) -> &[PartitionConfig] {
+        &self.partitions
+    }
+    fn gla_map(&self) -> GlaMap {
+        GlaMap::new(
+            self.nodes,
+            vec![PartitionGla::Ranged {
+                units: self.nodes as u64,
+                unit_pages: (1 << 30) / self.nodes as u64,
+            }],
+        )
+    }
+}
+
+/// Runs a scripted workload at 1 TPS per node (no queueing) and
+/// returns the report. CPU slice means: BOT 2 ms, access 1 ms
+/// (10k instructions), EOT 3 ms.
+fn calibrate(
+    nodes: u16,
+    window: u64,
+    refs: Vec<(bool, bool)>,
+    storage: StorageAllocation,
+    update: UpdateStrategy,
+    coupling: CouplingMode,
+    log: LogStorage,
+) -> RunReport {
+    let mut cfg = SystemConfig::debit_credit(nodes);
+    cfg.coupling = coupling;
+    cfg.update = update;
+    cfg.log_storage = log;
+    cfg.arrival_tps_per_node = 1.0;
+    cfg.cpu.per_access_instr = 10_000.0;
+    cfg.buffer_pages_per_node = 4_096;
+    cfg.run.warmup_txns = 200;
+    cfg.run.measured_txns = 2_000;
+    let wl = Scripted::new(nodes, window, refs, storage);
+    cfg.partitions = Workload::partitions(&wl).to_vec();
+    Engine::new(cfg, Box::new(wl)).expect("valid").run()
+}
+
+/// Base CPU path for a 2-reference transaction: BOT 2 + 2×1 + EOT 3 ms.
+const CPU_PATH_2REF_MS: f64 = 7.0;
+/// One GEM lock operation: 300 instr (0.03 ms) + 2 entries (0.004 ms).
+const GEM_LOCK_MS: f64 = 0.034;
+/// Disk read/write: 16.4 ms + 0.3 ms I/O-initiation CPU.
+const DISK_IO_MS: f64 = 16.7;
+/// Log write: 6.4 ms + 0.3 ms initiation.
+const LOG_MS: f64 = 6.7;
+
+fn assert_close(actual: f64, expect: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expect).abs() < tol,
+        "{what}: measured {actual:.2} ms, expected {expect:.2} ± {tol} ms"
+    );
+}
+
+#[test]
+fn read_only_all_hits_costs_only_cpu_and_locks() {
+    // 8-page window, 4096-frame buffer: everything hits after warm-up.
+    // Expected: CPU path + 2 lock ops (request) + release job
+    // (2 × 300 instr + 4 entries ≈ 0.068 ms).
+    let r = calibrate(
+        1,
+        8,
+        vec![(false, false), (false, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let expect = CPU_PATH_2REF_MS + 2.0 * GEM_LOCK_MS + 0.068;
+    assert_close(r.mean_response_ms, expect, 0.45, "read-only all-hit");
+    assert_eq!(r.hit_ratio("S"), Some(1.0));
+    assert!(r.reads_per_txn < 0.01);
+    assert!(r.writes_per_txn < 0.01, "read-only: no log write");
+}
+
+#[test]
+fn read_only_all_misses_pay_two_disk_reads() {
+    // Window of 1M pages: every reference misses and reads from disk.
+    let r = calibrate(
+        1,
+        1 << 20,
+        vec![(false, false), (false, false)],
+        StorageAllocation::disk(4),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let expect = CPU_PATH_2REF_MS + 2.0 * GEM_LOCK_MS + 0.068 + 2.0 * DISK_IO_MS;
+    assert_close(r.mean_response_ms, expect, 0.6, "read-only all-miss");
+    assert!((r.reads_per_txn - 2.0).abs() < 0.01);
+}
+
+#[test]
+fn noforce_update_adds_exactly_one_log_write() {
+    let read_only = calibrate(
+        1,
+        8,
+        vec![(false, false), (false, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let update = calibrate(
+        1,
+        8,
+        vec![(false, false), (true, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    assert_close(
+        update.mean_response_ms - read_only.mean_response_ms,
+        LOG_MS,
+        0.5,
+        "NOFORCE log-write delta",
+    );
+    assert!((update.writes_per_txn - 1.0).abs() < 0.01);
+}
+
+#[test]
+fn force_writes_are_serial_on_top_of_the_log() {
+    // Two modified pages: FORCE pays 2 serial disk writes + the log.
+    let noforce = calibrate(
+        1,
+        8,
+        vec![(true, false), (true, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let force = calibrate(
+        1,
+        8,
+        vec![(true, false), (true, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::Force,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    assert_close(
+        force.mean_response_ms - noforce.mean_response_ms,
+        2.0 * DISK_IO_MS,
+        0.8,
+        "two serial force-writes",
+    );
+    // 2 force-writes + 1 log vs 1 log
+    assert!((force.writes_per_txn - 3.0).abs() < 0.01);
+}
+
+#[test]
+fn gem_residence_makes_misses_nearly_free() {
+    // All-miss reads served by GEM: 50 µs + 30 µs initiation each.
+    let r = calibrate(
+        1,
+        1 << 20,
+        vec![(false, false), (false, false)],
+        StorageAllocation::Gem,
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let expect = CPU_PATH_2REF_MS + 2.0 * GEM_LOCK_MS + 0.068 + 2.0 * 0.08;
+    assert_close(r.mean_response_ms, expect, 0.45, "GEM-resident misses");
+}
+
+#[test]
+fn gem_log_saves_the_log_write() {
+    let disk_log = calibrate(
+        1,
+        8,
+        vec![(true, false), (false, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let gem_log = calibrate(
+        1,
+        8,
+        vec![(true, false), (false, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Gem,
+    );
+    // 6.7 ms log write becomes 50 µs GEM write + 30 µs initiation.
+    assert_close(
+        disk_log.mean_response_ms - gem_log.mean_response_ms,
+        LOG_MS - 0.08,
+        0.5,
+        "GEM log delta",
+    );
+}
+
+#[test]
+fn pcl_remote_lock_round_trip_costs_about_two_milliseconds() {
+    // Two nodes; the GLA map splits the window so that node 0 owns the
+    // lower half. With round-robin routing and a shared window, about
+    // half of all lock requests are remote. Compare against GEM
+    // locking on the identical setup: the difference per remote lock is
+    // the message round trip (2 × (0.5 send + 0.01 wire + 0.5 recv +
+    // 0.03 processing) ≈ 2.07 ms) minus the GEM lock cost.
+    let window = 1 << 14;
+    let refs = vec![(false, false), (false, false)];
+    let gem = calibrate(
+        2,
+        window,
+        refs.clone(),
+        StorageAllocation::disk(4),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let pcl = calibrate(
+        2,
+        window,
+        refs,
+        StorageAllocation::disk(4),
+        UpdateStrategy::NoForce,
+        CouplingMode::Pcl,
+        LogStorage::Disk,
+    );
+    let local = pcl.local_lock_fraction.expect("PCL");
+    assert!((local - 0.5).abs() < 0.1, "local share {local}");
+    // per remote lock: ~2.07 ms round trip; 2 locks/txn, half remote
+    let remote_locks = 2.0 * (1.0 - local);
+    let expect_delta = remote_locks * 2.07 - 2.0 * GEM_LOCK_MS;
+    assert_close(
+        pcl.mean_response_ms - gem.mean_response_ms,
+        expect_delta,
+        0.6,
+        "PCL remote round trips",
+    );
+}
+
+#[test]
+fn appends_never_read_storage() {
+    let r = calibrate(
+        1,
+        1 << 20, // huge window: appends would miss if they read
+        vec![(false, false), (true, true)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    // one read miss (the plain read), zero for the append
+    assert!((r.reads_per_txn - 1.0).abs() < 0.01, "{}", r.reads_per_txn);
+}
+
+#[test]
+fn response_ci_is_reported_and_tight_at_low_load() {
+    let r = calibrate(
+        1,
+        8,
+        vec![(false, false), (false, false)],
+        StorageAllocation::disk(2),
+        UpdateStrategy::NoForce,
+        CouplingMode::GemLocking,
+        LogStorage::Disk,
+    );
+    let ci = r.response_ci95_ms.expect("2000 txns = 10 batches");
+    assert!(ci > 0.0 && ci < 0.6, "ci {ci}");
+}
