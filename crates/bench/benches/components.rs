@@ -1,9 +1,10 @@
-//! Criterion microbenchmarks of the simulator's core data structures:
-//! the lock table, the LRU cache, the event calendar, the FIFO
-//! multi-server, and the random distributions. These are the inner
-//! loops of every simulation run.
+//! Microbenchmarks of the simulator's core data structures: the lock
+//! table, the LRU cache, the event calendar, the FIFO multi-server, and
+//! the random distributions. These are the inner loops of every
+//! simulation run. Runs on the dependency-free
+//! [`dbshare_bench::minibench`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dbshare_bench::minibench::Bench;
 use dbshare_lockmgr::{GemLockTable, LockMode, LockTable};
 use dbshare_model::{PageId, PartitionId, TxnId};
 use desim::dist::{Alias, Zipf};
@@ -15,31 +16,28 @@ fn page(n: u64) -> PageId {
     PageId::new(PartitionId::new(0), n)
 }
 
-fn lock_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lock_table");
-    g.bench_function("grant_release_cycle", |b| {
+fn lock_table(b: &Bench) {
+    {
         let mut lt = LockTable::new();
         let mut i = 0u64;
-        b.iter(|| {
+        b.bench("lock_table/grant_release_cycle", || {
             let t = TxnId::new(i);
             i += 1;
             lt.request(t, page(i % 512), LockMode::Write);
             lt.request(t, page((i + 7) % 512), LockMode::Read);
             black_box(lt.release_all(t));
-        })
+        });
+    }
+    b.bench("lock_table/contended_queue", || {
+        let mut lt = LockTable::new();
+        for i in 0..64 {
+            lt.request(TxnId::new(i), page(0), LockMode::Write);
+        }
+        for i in 0..64 {
+            black_box(lt.release(TxnId::new(i), page(0)));
+        }
     });
-    g.bench_function("contended_queue", |b| {
-        b.iter(|| {
-            let mut lt = LockTable::new();
-            for i in 0..64 {
-                lt.request(TxnId::new(i), page(0), LockMode::Write);
-            }
-            for i in 0..64 {
-                black_box(lt.release(TxnId::new(i), page(0)));
-            }
-        })
-    });
-    g.bench_function("waits_for_edges", |b| {
+    {
         let mut lt = LockTable::new();
         for p in 0..32 {
             lt.request(TxnId::new(p), page(p), LockMode::Write);
@@ -47,106 +45,102 @@ fn lock_table(c: &mut Criterion) {
                 lt.request(TxnId::new(1000 + p * 8 + w), page(p), LockMode::Write);
             }
         }
-        b.iter(|| black_box(lt.waits_for_edges()))
-    });
-    g.finish();
+        b.bench("lock_table/waits_for_edges", || {
+            black_box(lt.waits_for_edges());
+        });
+    }
 }
 
-fn gem_glt(c: &mut Criterion) {
-    c.bench_function("gem_glt_request_mod_release", |b| {
-        let mut glt = GemLockTable::new();
-        let node = dbshare_model::NodeId::new(0);
-        let mut i = 0u64;
-        b.iter(|| {
-            let t = TxnId::new(i);
-            i += 1;
-            black_box(glt.request(t, page(i % 256), LockMode::Write));
-            glt.record_modification(page(i % 256), node, false);
-            black_box(glt.release_all(t));
-        })
+fn gem_glt(b: &Bench) {
+    let mut glt = GemLockTable::new();
+    let node = dbshare_model::NodeId::new(0);
+    let mut i = 0u64;
+    b.bench("gem_glt/request_mod_release", || {
+        let t = TxnId::new(i);
+        i += 1;
+        black_box(glt.request(t, page(i % 256), LockMode::Write));
+        glt.record_modification(page(i % 256), node, false);
+        black_box(glt.release_all(t));
     });
 }
 
-fn lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru_cache");
-    g.bench_function("hit", |b| {
+fn lru(b: &Bench) {
+    {
         let mut cache = LruCache::new(1_000);
         for i in 0..1_000u64 {
             cache.insert(i, i);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        b.bench("lru_cache/hit", || {
             i = (i + 7) % 1_000;
             black_box(cache.get(&i));
-        })
-    });
-    g.bench_function("miss_insert_evict", |b| {
+        });
+    }
+    {
         let mut cache = LruCache::new(1_000);
         let mut i = 0u64;
-        b.iter(|| {
+        b.bench("lru_cache/miss_insert_evict", || {
             i += 1;
             black_box(cache.insert(i, i));
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn calendar(c: &mut Criterion) {
-    c.bench_function("calendar_schedule_pop", |b| {
-        let mut cal = Calendar::new();
-        let mut rng = Rng::seed_from_u64(1);
-        let mut now = SimTime::ZERO;
-        // steady-state heap of ~1000 events
-        for _ in 0..1_000 {
-            cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), 0u32);
-        }
-        b.iter(|| {
-            let (t, e) = cal.pop().expect("non-empty");
-            now = t;
-            cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), e);
-            black_box(e);
-        })
+fn calendar(b: &Bench) {
+    let mut cal = Calendar::new();
+    let mut rng = Rng::seed_from_u64(1);
+    let mut now = SimTime::ZERO;
+    // steady-state heap of ~1000 events
+    for _ in 0..1_000 {
+        cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), 0u32);
+    }
+    b.bench("calendar/schedule_pop", || {
+        let (t, e) = cal.pop().expect("non-empty");
+        now = t;
+        cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), e);
+        black_box(e);
     });
 }
 
-fn multiserver(c: &mut Criterion) {
-    c.bench_function("multiserver_offer", |b| {
-        let mut srv = MultiServer::new(4);
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            now += SimDuration::from_micros(10);
-            black_box(srv.offer(now, SimDuration::from_micros(35)));
-        })
+fn multiserver(b: &Bench) {
+    let mut srv = MultiServer::new(4);
+    let mut now = SimTime::ZERO;
+    b.bench("multiserver/offer", || {
+        now += SimDuration::from_micros(10);
+        black_box(srv.offer(now, SimDuration::from_micros(35)));
     });
 }
 
-fn distributions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("distributions");
-    g.bench_function("zipf_sample", |b| {
+fn distributions(b: &Bench) {
+    {
         let z = Zipf::new(66_000, 1.0);
         let mut rng = Rng::seed_from_u64(2);
-        b.iter(|| black_box(z.sample(&mut rng)))
-    });
-    g.bench_function("alias_sample", |b| {
+        b.bench("distributions/zipf_sample", || {
+            black_box(z.sample(&mut rng));
+        });
+    }
+    {
         let weights: Vec<f64> = (1..=1_000).map(|i| 1.0 / i as f64).collect();
         let a = Alias::new(&weights);
         let mut rng = Rng::seed_from_u64(3);
-        b.iter(|| black_box(a.sample(&mut rng)))
-    });
-    g.bench_function("exp_sample", |b| {
+        b.bench("distributions/alias_sample", || {
+            black_box(a.sample(&mut rng));
+        });
+    }
+    {
         let mut rng = Rng::seed_from_u64(4);
-        b.iter(|| black_box(rng.exp(50_000.0)))
-    });
-    g.finish();
+        b.bench("distributions/exp_sample", || {
+            black_box(rng.exp(50_000.0));
+        });
+    }
 }
 
-criterion_group!(
-    components,
-    lock_table,
-    gem_glt,
-    lru,
-    calendar,
-    multiserver,
-    distributions
-);
-criterion_main!(components);
+fn main() {
+    let b = Bench::from_args();
+    lock_table(&b);
+    gem_glt(&b);
+    lru(&b);
+    calendar(&b);
+    multiserver(&b);
+    distributions(&b);
+}

@@ -1,19 +1,20 @@
-//! Criterion benchmarks: one group per paper figure.
+//! End-to-end benchmarks: one group per paper figure.
 //!
 //! Each benchmark runs the figure's *representative configuration* as a
 //! short end-to-end simulation, so `cargo bench` both exercises every
 //! experiment path and tracks simulator performance over time. The
 //! full-length figure data comes from the `repro` binary
 //! (`cargo run --release -p dbshare-bench --bin repro`), which prints
-//! the same rows/series the paper reports.
+//! the same rows/series the paper reports. Runs on the dependency-free
+//! [`dbshare_bench::minibench`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use dbshare_bench::minibench::Bench;
 use dbshare_model::{CouplingMode, LogStorage, PageTransferMode, RoutingStrategy, UpdateStrategy};
 use dbshare_sim::experiments::{
     debit_credit_run, trace_run, BtStorage, DebitCreditRun, RunLength, TraceRun,
 };
 use std::hint::black_box;
+use std::time::Duration;
 
 /// Short but non-trivial run: enough transactions to exercise steady
 /// state without making `cargo bench` take minutes.
@@ -26,227 +27,195 @@ fn bench_base(nodes: u16) -> DebitCreditRun {
     DebitCreditRun::baseline(nodes, BENCH_RUN)
 }
 
-fn fig41(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig41_routing_x_update");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig41(b: &Bench) {
     for (label, routing, update) in [
-        ("random_force", RoutingStrategy::Random, UpdateStrategy::Force),
-        ("random_noforce", RoutingStrategy::Random, UpdateStrategy::NoForce),
-        ("affinity_force", RoutingStrategy::Affinity, UpdateStrategy::Force),
-        ("affinity_noforce", RoutingStrategy::Affinity, UpdateStrategy::NoForce),
+        (
+            "random_force",
+            RoutingStrategy::Random,
+            UpdateStrategy::Force,
+        ),
+        (
+            "random_noforce",
+            RoutingStrategy::Random,
+            UpdateStrategy::NoForce,
+        ),
+        (
+            "affinity_force",
+            RoutingStrategy::Affinity,
+            UpdateStrategy::Force,
+        ),
+        (
+            "affinity_noforce",
+            RoutingStrategy::Affinity,
+            UpdateStrategy::NoForce,
+        ),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    routing,
-                    update,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig41_routing_x_update/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                routing,
+                update,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig42(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig42_buffer_size");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig42(b: &Bench) {
     for buffer in [200u64, 1_000] {
-        g.bench_function(format!("buffer_{buffer}"), |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    routing: RoutingStrategy::Random,
-                    buffer,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig42_buffer_size/buffer_{buffer}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                routing: RoutingStrategy::Random,
+                buffer,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig43(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig43_bt_allocation");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig43(b: &Bench) {
     for (label, bt) in [("disk", BtStorage::Disk), ("gem", BtStorage::Gem)] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    routing: RoutingStrategy::Random,
-                    update: UpdateStrategy::Force,
-                    buffer: 1_000,
-                    bt,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig43_bt_allocation/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                routing: RoutingStrategy::Random,
+                update: UpdateStrategy::Force,
+                buffer: 1_000,
+                bt,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig44(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig44_disk_caches");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig44(b: &Bench) {
     for (label, bt) in [
         ("volatile_cache", BtStorage::VolatileCache),
         ("nonvolatile_cache", BtStorage::NvCache),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    routing: RoutingStrategy::Random,
-                    update: UpdateStrategy::Force,
-                    buffer: 1_000,
-                    bt,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig44_disk_caches/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                routing: RoutingStrategy::Random,
+                update: UpdateStrategy::Force,
+                buffer: 1_000,
+                bt,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig45(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig45_coupling");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig45(b: &Bench) {
     for (label, coupling) in [
         ("gem_locking", CouplingMode::GemLocking),
         ("pcl", CouplingMode::Pcl),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    coupling,
-                    routing: RoutingStrategy::Random,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig45_coupling/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                coupling,
+                routing: RoutingStrategy::Random,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig46(c: &mut Criterion) {
+fn fig46(b: &Bench) {
     // Fig. 4.6 derives throughput-at-80%-CPU from the same runs as
     // Fig. 4.5 with buffer 1000; benchmark that configuration.
-    let mut g = c.benchmark_group("fig46_throughput_runs");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
     for (label, coupling) in [
         ("gem_locking", CouplingMode::GemLocking),
         ("pcl", CouplingMode::Pcl),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    coupling,
-                    routing: RoutingStrategy::Random,
-                    buffer: 1_000,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("fig46_throughput_runs/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                coupling,
+                routing: RoutingStrategy::Random,
+                buffer: 1_000,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn fig47(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig47_trace");
-    g.sample_size(10).measurement_time(Duration::from_secs(6));
+fn fig47(b: &Bench) {
     for (label, coupling) in [
         ("gem_locking", CouplingMode::GemLocking),
         ("pcl", CouplingMode::Pcl),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(trace_run(TraceRun {
-                    nodes: 2,
-                    coupling,
-                    routing: RoutingStrategy::Affinity,
-                    read_optimization: true,
-                    run: RunLength {
-                        warmup: 50,
-                        measured: 400,
-                    },
-                    seed: 7,
-                }))
-            })
+        b.bench(&format!("fig47_trace/{label}"), || {
+            black_box(trace_run(TraceRun {
+                nodes: 2,
+                coupling,
+                routing: RoutingStrategy::Affinity,
+                read_optimization: true,
+                run: RunLength {
+                    warmup: 50,
+                    measured: 400,
+                },
+                seed: 7,
+            }));
         });
     }
-    g.finish();
 }
 
-fn ablation_gem_page_transfer(c: &mut Criterion) {
+fn ablation_gem_page_transfer(b: &Bench) {
     // Extension (§6): exchanging NOFORCE pages through GEM instead of
     // the network.
-    let mut g = c.benchmark_group("ablation_page_transfer");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
     for (label, transfer) in [
         ("network", PageTransferMode::Network),
         ("gem", PageTransferMode::Gem),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    routing: RoutingStrategy::Random,
-                    buffer: 1_000,
-                    transfer,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("ablation_page_transfer/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                routing: RoutingStrategy::Random,
+                buffer: 1_000,
+                transfer,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn ablation_gem_log(c: &mut Criterion) {
+fn ablation_gem_log(b: &Bench) {
     // Extension (§2 usage form 1): commit log records written to GEM
     // instead of the per-node log disks.
-    let mut g = c.benchmark_group("ablation_log_storage");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
     for (label, log) in [("log_disk", LogStorage::Disk), ("log_gem", LogStorage::Gem)] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    log,
-                    ..bench_base(4)
-                }))
-            })
+        b.bench(&format!("ablation_log_storage/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                log,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-fn ablation_gem_write_buffer(c: &mut Criterion) {
+fn ablation_gem_write_buffer(b: &Bench) {
     // Extension (§2 usage form 2): a small non-volatile GEM write
     // buffer in front of the BRANCH/TELLER disks under FORCE.
-    let mut g = c.benchmark_group("ablation_write_buffer");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    for (label, bt) in [("disk", BtStorage::Disk), ("gem_write_buffer", BtStorage::GemWriteBuffer)] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(debit_credit_run(DebitCreditRun {
-                    update: UpdateStrategy::Force,
-                    buffer: 1_000,
-                    bt,
-                    ..bench_base(4)
-                }))
-            })
+    for (label, bt) in [
+        ("disk", BtStorage::Disk),
+        ("gem_write_buffer", BtStorage::GemWriteBuffer),
+    ] {
+        b.bench(&format!("ablation_write_buffer/{label}"), || {
+            black_box(debit_credit_run(DebitCreditRun {
+                update: UpdateStrategy::Force,
+                buffer: 1_000,
+                bt,
+                ..bench_base(4)
+            }));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    fig41,
-    fig42,
-    fig43,
-    fig44,
-    fig45,
-    fig46,
-    fig47,
-    ablation_gem_page_transfer,
-    ablation_gem_log,
-    ablation_gem_write_buffer
-);
-criterion_main!(figures);
+fn main() {
+    let b = Bench::from_args().budget(Duration::from_secs(4));
+    fig41(&b);
+    fig42(&b);
+    fig43(&b);
+    fig44(&b);
+    fig45(&b);
+    fig46(&b);
+    fig47(&b);
+    ablation_gem_page_transfer(&b);
+    ablation_gem_log(&b);
+    ablation_gem_write_buffer(&b);
+}

@@ -1,19 +1,28 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--nodes 1,2,5,10] [--csv DIR] [--svg DIR] [-v]
+//! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
+//!       [--csv DIR] [--svg DIR] [-v]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
 //! Each figure prints one row per curve and one column per node count
 //! with the figure's metric (mean response time in ms; TPS/node at 80%
-//! CPU for Fig. 4.6; normalized response for Fig. 4.7). `--verbose`
+//! CPU for Fig. 4.6; normalized response for Fig. 4.7). All selected
+//! figures are flattened into independent jobs and executed on the
+//! `dbshare-harness` worker pool (`--jobs N`, default: all cores);
+//! every run is deterministic, so the printed tables are byte-identical
+//! for any worker count. Progress goes to stderr; a per-job artifact
+//! with wall-clocks, seeds, and headline metrics is written to
+//! `BENCH_repro.json` (`--json PATH` to relocate). `--verbose`
 //! additionally prints the full per-run reports; `--csv DIR` writes
 //! every report field per figure; `--svg DIR` draws each figure.
 
 use dbshare_bench::chart::Chart;
-use dbshare_sim::experiments::{self, RunLength, Series};
+use dbshare_harness::{write_artifact, Harness, Outcome, Sweep};
+use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
 use dbshare_sim::RunReport;
+use std::path::Path;
 
 /// Which metric a figure plots.
 #[derive(Clone, Copy)]
@@ -41,13 +50,13 @@ impl Metric {
 }
 
 /// One reproducible figure: its id, title, metric, node list, and the
-/// preset that generates its series.
+/// preset that lays out its job grid.
 struct Figure {
     name: &'static str,
     title: &'static str,
     metric: Metric,
     trace_nodes: bool,
-    run: fn(&[u16], RunLength) -> Vec<Series>,
+    grid: fn(&[u16], RunLength) -> Vec<CurveGrid>,
 }
 
 const FIGURES: &[Figure] = &[
@@ -56,56 +65,56 @@ const FIGURES: &[Figure] = &[
         title: "Fig. 4.1  GEM locking: workload allocation x update strategy (buffer 200)",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::fig41,
+        grid: experiments::fig41_grid,
     },
     Figure {
         name: "fig42",
         title: "Fig. 4.2  buffer size 200 vs 1000 (random routing, GEM locking)",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::fig42,
+        grid: experiments::fig42_grid,
     },
     Figure {
         name: "fig43",
         title: "Fig. 4.3  BRANCH/TELLER allocation disk vs GEM (buffer 1000)",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::fig43,
+        grid: experiments::fig43_grid,
     },
     Figure {
         name: "fig44",
         title: "Fig. 4.4  disk caches for BRANCH/TELLER (FORCE, buffer 1000)",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::fig44,
+        grid: experiments::fig44_grid,
     },
     Figure {
         name: "fig45",
         title: "Fig. 4.5  PCL vs GEM locking",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::fig45,
+        grid: experiments::fig45_grid,
     },
     Figure {
         name: "fig46",
         title: "Fig. 4.6  throughput per node at 80% CPU utilization (buffer 1000)",
         metric: Metric::TpsAt80,
         trace_nodes: false,
-        run: experiments::fig46,
+        grid: experiments::fig46_grid,
     },
     Figure {
         name: "lockengine",
         title: "S5   GEM locking vs central lock engine [Yu87] (random routing, buffer 200)",
         metric: Metric::MeanResponse,
         trace_nodes: false,
-        run: experiments::lock_engine_comparison,
+        grid: experiments::lock_engine_comparison_grid,
     },
     Figure {
         name: "fig47",
         title: "Fig. 4.7  PCL vs GEM locking, real-life (synthetic trace) workload",
         metric: Metric::NormResponse,
         trace_nodes: true,
-        run: experiments::fig47,
+        grid: experiments::fig47_grid,
     },
 ];
 
@@ -120,7 +129,9 @@ fn parse_nodes(s: &str) -> Vec<u16> {
         .map(|x| match x.trim().parse::<u16>() {
             Ok(0) => fail("node counts must be >= 1"),
             Ok(n) => n,
-            Err(_) => fail(&format!("--nodes takes a comma-separated list of integers, got {x:?}")),
+            Err(_) => fail(&format!(
+                "--nodes takes a comma-separated list of integers, got {x:?}"
+            )),
         })
         .collect();
     if nodes.is_empty() {
@@ -136,10 +147,17 @@ fn arg_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
 
 fn print_series(fig: &Figure, series: &[Series]) {
     println!("\n=== {} ===  (metric: {})", fig.title, fig.metric.label());
-    let nodes: Vec<u16> = series
-        .first()
-        .map(|s| s.points.iter().map(|&(n, _)| n).collect())
-        .unwrap_or_default();
+    // Column axis: the union of node counts across all curves, so no
+    // curve's points are silently misaligned if the sweeps differ.
+    let mut nodes: Vec<u16> = Vec::new();
+    for s in series {
+        for n in s.node_counts() {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+    }
+    nodes.sort_unstable();
     print!("{:<38}", "curve \\ nodes");
     for n in &nodes {
         print!("{n:>9}");
@@ -147,8 +165,11 @@ fn print_series(fig: &Figure, series: &[Series]) {
     println!();
     for s in series {
         print!("{:<38}", s.label);
-        for (_, r) in &s.points {
-            print!("{:>9.1}", fig.metric.of(r));
+        for n in &nodes {
+            match s.at(*n) {
+                Some(r) => print!("{:>9.1}", fig.metric.of(r)),
+                None => print!("{:>9}", "n/a"),
+            }
         }
         println!();
     }
@@ -166,7 +187,9 @@ fn write_svg(dir: &str, fig: &Figure, series: &[Series]) {
         );
     }
     let path = format!("{dir}/{}.svg", fig.name);
-    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, chart.render(860, 480))) {
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, chart.render(860, 480)))
+    {
         fail(&format!("cannot write {path}: {e}"));
     }
     println!("wrote {path}");
@@ -239,6 +262,8 @@ fn main() {
     let mut verbose = false;
     let mut csv: Option<String> = None;
     let mut svg: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut json_path = String::from("BENCH_repro.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -248,6 +273,18 @@ fn main() {
                 i += 1;
                 nodes = Some(parse_nodes(arg_value(&args, i, "--nodes")));
             }
+            "--jobs" => {
+                i += 1;
+                let v = arg_value(&args, i, "--jobs");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => fail(&format!("--jobs takes an integer >= 1, got {v:?}")),
+                }
+            }
+            "--json" => {
+                i += 1;
+                json_path = arg_value(&args, i, "--json").to_string();
+            }
             "--csv" => {
                 i += 1;
                 csv = Some(arg_value(&args, i, "--csv").to_string());
@@ -256,9 +293,9 @@ fn main() {
                 i += 1;
                 svg = Some(arg_value(&args, i, "--svg").to_string());
             }
-            other if other.starts_with('-') => {
-                fail(&format!("unknown flag {other:?} (try --quick, --nodes, --csv, --svg, -v)"))
-            }
+            other if other.starts_with('-') => fail(&format!(
+                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, -v)"
+            )),
             other => which.push(other.to_string()),
         }
         i += 1;
@@ -273,7 +310,10 @@ fn main() {
         .collect();
     for w in &which {
         if !known.contains(&w.as_str()) {
-            fail(&format!("unknown figure {w:?}; valid: {}", known.join(", ")));
+            fail(&format!(
+                "unknown figure {w:?}; valid: {}",
+                known.join(", ")
+            ));
         }
     }
     let all = which.iter().any(|w| w == "all");
@@ -287,21 +327,57 @@ fn main() {
     if want("table41") {
         println!("{}", experiments::table41());
     }
-    for fig in FIGURES {
-        if !want(fig.name) {
-            continue;
-        }
-        let node_list = if fig.trace_nodes { &tr_nodes } else { &dc_nodes };
-        let series = (fig.run)(node_list, run);
-        print_series(fig, &series);
+
+    // Flatten every selected figure into one job list and run the pool
+    // once, so late jobs of one figure overlap with early jobs of the
+    // next. Each run is deterministic and results are reassembled in
+    // input order, so stdout is byte-identical for any --jobs value.
+    let wanted: Vec<&Figure> = FIGURES.iter().filter(|f| want(f.name)).collect();
+    let sweeps: Vec<Sweep> = wanted
+        .iter()
+        .map(|fig| Sweep {
+            figure: fig.name.to_string(),
+            grid: (fig.grid)(
+                if fig.trace_nodes {
+                    &tr_nodes
+                } else {
+                    &dc_nodes
+                },
+                run,
+            ),
+        })
+        .collect();
+    let mut harness = Harness::new().progress(true);
+    if let Some(n) = jobs {
+        harness = harness.workers(n);
+    }
+    let outcome: Outcome = harness.run(sweeps);
+
+    for fig in &wanted {
+        let series = outcome
+            .series_for(fig.name)
+            .expect("harness returns every submitted figure");
+        print_series(fig, series);
         if let Some(dir) = &csv {
-            write_csv(dir, fig.name, &series);
+            write_csv(dir, fig.name, series);
         }
         if let Some(dir) = &svg {
-            write_svg(dir, fig, &series);
+            write_svg(dir, fig, series);
         }
         if verbose {
-            print_details(&series);
+            print_details(series);
         }
+    }
+
+    if !outcome.results.is_empty() {
+        if let Err(e) = write_artifact(Path::new(&json_path), &outcome.artifact()) {
+            fail(&format!("cannot write {json_path}: {e}"));
+        }
+        eprintln!(
+            "wrote {json_path} ({} jobs, {} workers, {:.2}s wall)",
+            outcome.results.len(),
+            outcome.workers,
+            outcome.total_wall_secs
+        );
     }
 }

@@ -156,7 +156,11 @@ impl Chart {
         // series
         for (i, (name, points)) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
-            let dash = if i >= PALETTE.len() { r#" stroke-dasharray="6 3""# } else { "" };
+            let dash = if i >= PALETTE.len() {
+                r#" stroke-dasharray="6 3""#
+            } else {
+                ""
+            };
             let path: Vec<String> = points
                 .iter()
                 .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
@@ -239,7 +243,9 @@ fn fmt_num(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -273,7 +279,9 @@ mod tests {
         let t = nice_ticks(0.0, 97.0, 6);
         assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
         let t = nice_ticks(1.0, 10.0, 8);
-        assert!(t.iter().all(|v| (v / 2.0).fract().abs() < 1e-9 || (v / 1.0).fract().abs() < 1e-9));
+        assert!(t
+            .iter()
+            .all(|v| (v / 2.0).fract().abs() < 1e-9 || (v / 1.0).fract().abs() < 1e-9));
         assert!(*t.first().expect("non-empty") <= 1.0);
         assert!(*t.last().expect("non-empty") >= 10.0);
     }

@@ -1,8 +1,10 @@
 //! Benchmark and reproduction harness for the `dbshare` workspace:
-//! the `repro` binary regenerating every figure, criterion benches, and
-//! a dependency-free [`chart`] SVG renderer for drawing the figures.
+//! the `repro` binary regenerating every figure, wall-clock benches on
+//! the dependency-free [`minibench`] runner, and a dependency-free
+//! [`chart`] SVG renderer for drawing the figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod minibench;

@@ -56,7 +56,14 @@ impl Zipf {
         let h_x1 = h_integral(1.5) - 1.0;
         let h_n = h_integral(n as f64 + 0.5);
         let s = 2.0 - h_integral_inv(h_integral(2.5) - h(2.0));
-        Zipf { n, alpha, q, h_x1, h_n, s }
+        Zipf {
+            n,
+            alpha,
+            q,
+            h_x1,
+            h_n,
+            s,
+        }
     }
 
     fn h_integral(&self, x: f64) -> f64 {
@@ -219,7 +226,11 @@ mod tests {
             counts[z.sample(&mut rng) as usize] += 1;
         }
         let max_idx = (1..=100).max_by_key(|&i| counts[i]).unwrap();
-        assert_eq!(max_idx, 1, "rank 1 should dominate, counts[1]={}", counts[1]);
+        assert_eq!(
+            max_idx, 1,
+            "rank 1 should dominate, counts[1]={}",
+            counts[1]
+        );
         assert!(counts[1] > counts[10] && counts[10] > counts[100]);
     }
 

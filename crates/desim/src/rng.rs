@@ -219,7 +219,10 @@ mod tests {
             counts[r.below(10) as usize] += 1;
         }
         for c in counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

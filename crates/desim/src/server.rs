@@ -214,7 +214,8 @@ impl<T> Resource<T> {
     pub fn release(&mut self, now: SimTime) -> Option<(T, SimTime)> {
         assert!(self.in_use > 0, "release without acquire");
         if let Some((token, since)) = self.queue.pop_front() {
-            self.queue_integral.update(now, self.queue.len() as f64 + 1.0);
+            self.queue_integral
+                .update(now, self.queue.len() as f64 + 1.0);
             self.queue_integral.set_current(self.queue.len() as f64);
             self.grants += 1;
             self.total_wait += now - since;

@@ -432,7 +432,7 @@ mod tests {
         let mut tw = TimeWeighted::new();
         tw.update(SimTime::ZERO, 4.0); // 0 until t=0 (no-op), then 4
         tw.update(SimTime::from_secs(5), 2.0); // 4 for 5s, then 2
-        // at t=10: (4*5 + 2*5)/10 = 3
+                                               // at t=10: (4*5 + 2*5)/10 = 3
         assert!((tw.mean(SimTime::from_secs(10)) - 3.0).abs() < 1e-12);
     }
 

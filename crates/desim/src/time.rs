@@ -292,6 +292,9 @@ mod tests {
         let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
         assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
-        assert_eq!(SimTime::from_millis(2).max(SimTime::from_millis(1)), SimTime::from_millis(2));
+        assert_eq!(
+            SimTime::from_millis(2).max(SimTime::from_millis(1)),
+            SimTime::from_millis(2)
+        );
     }
 }

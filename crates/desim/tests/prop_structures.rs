@@ -1,12 +1,17 @@
-//! Property-based tests of the simulation substrate: the LRU cache
+//! Randomized model tests of the simulation substrate: the LRU cache
 //! against a naive reference model, the FIFO multi-server's timing
 //! invariants, the resource's conservation laws, and the calendar's
 //! ordering guarantee.
+//!
+//! Cases are generated with the crate's own deterministic RNG (seeded,
+//! reproducible) so the workspace builds and tests without any registry
+//! dependency.
 
 use desim::lru::LruCache;
 use desim::{Calendar, MultiServer, Resource, Rng, SimDuration, SimTime};
-use proptest::prelude::*;
 use std::collections::VecDeque;
+
+const CASES: u64 = 256;
 
 /// A deliberately naive reference LRU: O(n) everything.
 struct NaiveLru {
@@ -54,90 +59,98 @@ enum LruOp {
     PopLru,
 }
 
-fn lru_op() -> impl Strategy<Value = LruOp> {
-    prop_oneof![
-        (0u16..40).prop_map(LruOp::Get),
-        (0u16..40, any::<u32>()).prop_map(|(k, v)| LruOp::Insert(k, v)),
-        (0u16..40).prop_map(LruOp::Remove),
-        Just(LruOp::PopLru),
-    ]
+fn lru_op(rng: &mut Rng) -> LruOp {
+    match rng.below(4) {
+        0 => LruOp::Get(rng.below(40) as u16),
+        1 => LruOp::Insert(rng.below(40) as u16, rng.next_u64() as u32),
+        2 => LruOp::Remove(rng.below(40) as u16),
+        _ => LruOp::PopLru,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lru_matches_reference_model(cap in 1usize..24, ops in prop::collection::vec(lru_op(), 1..300)) {
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = Rng::seed_from_u64(0x11C0_FFEE);
+    for _ in 0..CASES {
+        let cap = rng.range_inclusive(1, 23) as usize;
+        let ops = rng.range_inclusive(1, 299);
         let mut real = LruCache::new(cap);
         let mut model = NaiveLru::new(cap);
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match lru_op(&mut rng) {
                 LruOp::Get(k) => {
-                    prop_assert_eq!(real.get(&k).copied(), model.get(k));
+                    assert_eq!(real.get(&k).copied(), model.get(k));
                 }
                 LruOp::Insert(k, v) => {
-                    prop_assert_eq!(real.insert(k, v), model.insert(k, v));
+                    assert_eq!(real.insert(k, v), model.insert(k, v));
                 }
                 LruOp::Remove(k) => {
-                    prop_assert_eq!(real.remove(&k), model.remove(k));
+                    assert_eq!(real.remove(&k), model.remove(k));
                 }
                 LruOp::PopLru => {
-                    prop_assert_eq!(real.pop_lru(), model.entries.pop_back());
+                    assert_eq!(real.pop_lru(), model.entries.pop_back());
                 }
             }
-            prop_assert_eq!(real.len(), model.entries.len());
-            prop_assert!(real.len() <= cap);
+            assert_eq!(real.len(), model.entries.len());
+            assert!(real.len() <= cap);
         }
         // recency order fully matches
         let real_order: Vec<u16> = real.iter_mru().map(|(k, _)| *k).collect();
         let model_order: Vec<u16> = model.entries.iter().map(|&(k, _)| k).collect();
-        prop_assert_eq!(real_order, model_order);
+        assert_eq!(real_order, model_order);
     }
+}
 
-    #[test]
-    fn multiserver_timing_invariants(
-        servers in 1u32..6,
-        jobs in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..200),
-    ) {
+#[test]
+fn multiserver_timing_invariants() {
+    let mut rng = Rng::seed_from_u64(0x22C0_FFEE);
+    for _ in 0..CASES {
+        let servers = rng.range_inclusive(1, 5) as u32;
+        let jobs = rng.range_inclusive(1, 199);
         let mut srv = MultiServer::new(servers);
         let mut now = SimTime::ZERO;
         let mut completions: Vec<(SimTime, SimTime, SimDuration)> = Vec::new();
         let mut total_service = SimDuration::ZERO;
-        for (gap, svc) in jobs {
-            now += SimDuration::from_micros(gap);
-            let service = SimDuration::from_micros(svc);
+        for _ in 0..jobs {
+            now += SimDuration::from_micros(rng.below(10_000));
+            let service = SimDuration::from_micros(rng.range_inclusive(1, 4_999));
             let done = srv.offer(now, service);
             // completion is never before arrival + service
-            prop_assert!(done >= now + service);
+            assert!(done >= now + service);
             completions.push((now, done, service));
             total_service += service;
         }
         // work conservation: total busy time across k servers within
         // [0, last completion] is exactly the sum of service times
         let horizon = completions.iter().map(|&(_, d, _)| d).max().expect("jobs");
-        prop_assert!((srv.utilization(horizon)
-            - total_service.as_secs_f64() / (horizon.as_secs_f64() * servers as f64)).abs() < 1e-9);
-        // per-load bound: at most `servers` jobs in service at any
-        // completion instant — equivalently, the (k+1)-th job offered at
-        // the same time must finish no earlier than a prior one ends
+        assert!(
+            (srv.utilization(horizon)
+                - total_service.as_secs_f64() / (horizon.as_secs_f64() * servers as f64))
+                .abs()
+                < 1e-9
+        );
+        // offers must be time-ordered
         for w in completions.windows(2) {
             let (a_now, _, _) = w[0];
             let (b_now, _, _) = w[1];
-            prop_assert!(b_now >= a_now, "offers must be time-ordered");
+            assert!(b_now >= a_now, "offers must be time-ordered");
         }
     }
+}
 
-    #[test]
-    fn resource_conserves_units(
-        total in 1u32..5,
-        ops in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+#[test]
+fn resource_conserves_units() {
+    let mut rng = Rng::seed_from_u64(0x33C0_FFEE);
+    for _ in 0..CASES {
+        let total = rng.range_inclusive(1, 4) as u32;
+        let ops = rng.range_inclusive(1, 199);
         let mut r: Resource<u32> = Resource::new(total);
         let mut now = SimTime::ZERO;
         let mut outstanding = 0u32; // grants not yet released
         let mut queued = 0u32;
         let mut next_token = 0u32;
-        for acquire in ops {
+        for _ in 0..ops {
+            let acquire = rng.chance(0.5);
             now += SimDuration::from_micros(10);
             if acquire {
                 if r.acquire(now, next_token).is_some() {
@@ -150,7 +163,7 @@ proptest! {
                 match r.release(now) {
                     Some(_) => {
                         // unit transferred to a queued token
-                        prop_assert!(queued > 0);
+                        assert!(queued > 0);
                         queued -= 1;
                     }
                     None => {
@@ -158,46 +171,52 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(outstanding <= total);
-            prop_assert_eq!(r.in_use(), outstanding);
-            prop_assert_eq!(r.queue_len(), queued as usize);
+            assert!(outstanding <= total);
+            assert_eq!(r.in_use(), outstanding);
+            assert_eq!(r.queue_len(), queued as usize);
             // a queue can only exist when all units are busy
             if queued > 0 {
-                prop_assert_eq!(outstanding, total);
+                assert_eq!(outstanding, total);
             }
         }
     }
+}
 
-    #[test]
-    fn calendar_pops_in_nondecreasing_time_order(
-        times in prop::collection::vec(0u64..1_000_000, 1..300),
-    ) {
+#[test]
+fn calendar_pops_in_nondecreasing_time_order() {
+    let mut rng = Rng::seed_from_u64(0x44C0_FFEE);
+    for _ in 0..CASES {
+        let n = rng.range_inclusive(1, 299) as usize;
         let mut cal = Calendar::new();
-        for (i, t) in times.iter().enumerate() {
-            cal.schedule(SimTime::from_nanos(*t), i);
+        for i in 0..n {
+            cal.schedule(SimTime::from_nanos(rng.below(1_000_000)), i);
         }
         let mut last = SimTime::ZERO;
         let mut count = 0;
         while let Some((t, _)) = cal.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, n);
     }
+}
 
-    #[test]
-    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_streams_are_reproducible() {
+    let mut seeder = Rng::seed_from_u64(0x55C0_FFEE);
+    for _ in 0..CASES {
+        let seed = seeder.next_u64();
         let mut a = Rng::seed_from_u64(seed);
         let mut b = Rng::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         // derived streams differ from the parent
         let mut d = Rng::seed_from_u64(seed).derive(1);
         let mut a2 = Rng::seed_from_u64(seed);
         let same = (0..16).all(|_| d.next_u64() == a2.next_u64());
-        prop_assert!(!same);
+        assert!(!same);
     }
 }
 

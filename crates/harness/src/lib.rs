@@ -1,0 +1,258 @@
+//! Parallel experiment orchestration for the reproduction.
+//!
+//! Each figure in the paper is a *sweep*: a handful of curves, each a
+//! vector of `(nodes, RunSpec)` points. Every point is an independent,
+//! fully deterministic single-threaded simulation, so parallelism
+//! belongs *around* the engine, not inside it. This crate:
+//!
+//! 1. flattens sweeps into a flat list of [`Job`]s,
+//! 2. executes them on a `std::thread` worker pool ([`pool`]) fed by a
+//!    shared `Mutex<VecDeque<_>>` queue,
+//! 3. reassembles the results into ordered [`Series`] that are
+//!    **byte-identical to a serial run** for any worker count, and
+//! 4. records per-job wall-clock and headline metrics into a
+//!    `BENCH_repro.json` artifact ([`artifact`]) written with the
+//!    in-repo dependency-free JSON value ([`json`]).
+//!
+//! ```no_run
+//! use dbshare_harness::{Harness, Sweep};
+//! use dbshare_sim::experiments::{fig41_grid, RunLength};
+//!
+//! let sweeps = vec![Sweep {
+//!     figure: "fig4.1".into(),
+//!     grid: fig41_grid(&[1, 2, 4], RunLength::quick()),
+//! }];
+//! let outcome = Harness::new().run(sweeps);
+//! let artifact = outcome.artifact();
+//! ```
+
+pub mod artifact;
+pub mod json;
+pub mod pool;
+
+pub use artifact::{fingerprint, write_artifact, SCHEMA};
+pub use json::Json;
+pub use pool::{run_jobs, Job, JobResult};
+
+use dbshare_sim::experiments::{CurveGrid, Series};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One figure's worth of pending runs: a figure key plus the grid the
+/// `sim::experiments::*_grid` presets produce.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Figure key, e.g. `"fig4.1"` — labels jobs and artifact records.
+    pub figure: String,
+    /// The figure's curves as pending `(nodes, spec)` points.
+    pub grid: Vec<CurveGrid>,
+}
+
+/// A figure's reassembled result: the same `Vec<Series>` the serial
+/// preset (`figNN(...)`) returns.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure key, copied from the input [`Sweep`].
+    pub figure: String,
+    /// Ordered curves, identical to [`run_grid_serial`] output.
+    ///
+    /// [`run_grid_serial`]: dbshare_sim::experiments::run_grid_serial
+    pub series: Vec<Series>,
+}
+
+/// Everything a harness run produced: per-figure series in input
+/// order, the flat per-job results, and run-wide bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// One entry per input sweep, in input order.
+    pub figures: Vec<FigureSeries>,
+    /// Per-job results in flattened input order.
+    pub results: Vec<JobResult>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole pool run.
+    pub total_wall_secs: f64,
+    /// Unix timestamp the run started, when the clock was readable.
+    pub created_unix: Option<u64>,
+}
+
+impl Outcome {
+    /// The series for `figure`, if it was part of the run.
+    pub fn series_for(&self, figure: &str) -> Option<&[Series]> {
+        self.figures
+            .iter()
+            .find(|f| f.figure == figure)
+            .map(|f| f.series.as_slice())
+    }
+
+    /// Builds the `BENCH_repro.json` document for this run.
+    pub fn artifact(&self) -> Json {
+        artifact::artifact(
+            &self.results,
+            self.workers,
+            self.total_wall_secs,
+            self.created_unix,
+        )
+    }
+}
+
+/// The orchestrator: worker count and progress reporting policy.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    workers: usize,
+    progress: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness using every available core and no progress output.
+    pub fn new() -> Self {
+        Harness {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            progress: false,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Enables per-job progress lines on stderr.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Flattens `sweeps` into jobs, runs the pool, and reassembles
+    /// ordered per-figure series. For any worker count the returned
+    /// [`Outcome::figures`] equals what
+    /// [`run_grid_serial`](dbshare_sim::experiments::run_grid_serial)
+    /// produces on the same grids, point for point.
+    pub fn run(&self, sweeps: Vec<Sweep>) -> Outcome {
+        // Remember each sweep's shape (curve labels + point counts) so
+        // the flat results can be folded back without guesswork.
+        let mut jobs = Vec::new();
+        let mut shapes: Vec<(String, Vec<(String, usize)>)> = Vec::new();
+        for sweep in sweeps {
+            let mut curves = Vec::new();
+            for curve in sweep.grid {
+                curves.push((curve.label.clone(), curve.points.len()));
+                for (nodes, spec) in curve.points {
+                    jobs.push(Job {
+                        figure: sweep.figure.clone(),
+                        curve: curve.label.clone(),
+                        nodes,
+                        spec,
+                    });
+                }
+            }
+            shapes.push((sweep.figure, curves));
+        }
+
+        let created_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .ok()
+            .map(|d| d.as_secs());
+        let started = Instant::now();
+        let results = pool::run_jobs(jobs, self.workers, self.progress);
+        let total_wall_secs = started.elapsed().as_secs_f64();
+
+        // Fold the flat results back into figures: the pool preserves
+        // input order, so a single cursor walk reproduces the shape.
+        let mut cursor = results.iter();
+        let figures = shapes
+            .into_iter()
+            .map(|(figure, curves)| FigureSeries {
+                figure,
+                series: curves
+                    .into_iter()
+                    .map(|(label, len)| Series {
+                        label,
+                        points: cursor
+                            .by_ref()
+                            .take(len)
+                            .map(|r| (r.job.nodes, r.report.clone()))
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        Outcome {
+            figures,
+            results,
+            workers: self.workers,
+            total_wall_secs,
+            created_unix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_sim::experiments::{fig41_grid, RunLength};
+
+    const TINY: RunLength = RunLength {
+        warmup: 20,
+        measured: 100,
+    };
+
+    #[test]
+    fn outcome_preserves_sweep_and_curve_order() {
+        let sweeps = vec![
+            Sweep {
+                figure: "figA".into(),
+                grid: fig41_grid(&[1, 2], TINY),
+            },
+            Sweep {
+                figure: "figB".into(),
+                grid: fig41_grid(&[1], TINY),
+            },
+        ];
+        let expected: Vec<(String, Vec<(String, usize)>)> = sweeps
+            .iter()
+            .map(|s| {
+                (
+                    s.figure.clone(),
+                    s.grid
+                        .iter()
+                        .map(|c| (c.label.clone(), c.points.len()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let outcome = Harness::new().workers(3).run(sweeps);
+        let shapes: Vec<(String, Vec<(String, usize)>)> = outcome
+            .figures
+            .iter()
+            .map(|f| {
+                (
+                    f.figure.clone(),
+                    f.series
+                        .iter()
+                        .map(|s| (s.label.clone(), s.points.len()))
+                        .collect(),
+                )
+            })
+            .collect();
+        assert_eq!(shapes, expected);
+        assert!(outcome.series_for("figB").is_some());
+        assert!(outcome.series_for("figC").is_none());
+        assert_eq!(
+            outcome.results.len(),
+            outcome
+                .figures
+                .iter()
+                .flat_map(|f| &f.series)
+                .map(|s| s.points.len())
+                .sum::<usize>()
+        );
+    }
+}

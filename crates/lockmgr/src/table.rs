@@ -62,7 +62,10 @@ struct LockState {
 
 impl LockState {
     fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|&(_, m)| m)
     }
 
     fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
@@ -207,10 +210,7 @@ impl LockTable {
                 }
                 break;
             }
-            let compatible = state
-                .holders
-                .iter()
-                .all(|&(_, m)| m.compatible(w.mode));
+            let compatible = state.holders.iter().all(|&(_, m)| m.compatible(w.mode));
             // FIFO: a pending upgrade further back must not be starved
             // by a stream of readers; simple FIFO order handles this
             // because we only look at the queue head.
@@ -324,8 +324,14 @@ mod tests {
     #[test]
     fn shared_readers_coexist() {
         let mut lt = LockTable::new();
-        assert_eq!(lt.request(txn(1), page(1), LockMode::Read), LockReply::Granted);
-        assert_eq!(lt.request(txn(2), page(1), LockMode::Read), LockReply::Granted);
+        assert_eq!(
+            lt.request(txn(1), page(1), LockMode::Read),
+            LockReply::Granted
+        );
+        assert_eq!(
+            lt.request(txn(2), page(1), LockMode::Read),
+            LockReply::Granted
+        );
         assert_eq!(lt.holders(page(1)).len(), 2);
         assert_eq!(lt.conflicts(), 0);
     }
@@ -334,8 +340,14 @@ mod tests {
     fn writer_excludes() {
         let mut lt = LockTable::new();
         lt.request(txn(1), page(1), LockMode::Write);
-        assert_eq!(lt.request(txn(2), page(1), LockMode::Read), LockReply::Queued);
-        assert_eq!(lt.request(txn(3), page(1), LockMode::Write), LockReply::Queued);
+        assert_eq!(
+            lt.request(txn(2), page(1), LockMode::Read),
+            LockReply::Queued
+        );
+        assert_eq!(
+            lt.request(txn(3), page(1), LockMode::Write),
+            LockReply::Queued
+        );
         assert_eq!(lt.queue_len(page(1)), 2);
         assert_eq!(lt.conflicts(), 2);
     }
@@ -461,8 +473,11 @@ mod tests {
         let mut lt = LockTable::new();
         lt.request(txn(1), page(1), LockMode::Read);
         lt.request(txn(2), page(1), LockMode::Write); // queued
-        // a new reader must queue behind the writer (no starvation)
-        assert_eq!(lt.request(txn(3), page(1), LockMode::Read), LockReply::Queued);
+                                                      // a new reader must queue behind the writer (no starvation)
+        assert_eq!(
+            lt.request(txn(3), page(1), LockMode::Read),
+            LockReply::Queued
+        );
         let granted = lt.release(txn(1), page(1));
         assert_eq!(granted, vec![(txn(2), LockMode::Write)]);
     }

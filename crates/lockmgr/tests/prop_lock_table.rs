@@ -1,12 +1,18 @@
-//! Property-based tests of the 2PL lock table: whatever the request /
+//! Randomized tests of the 2PL lock table: whatever the request /
 //! release interleaving, the table must never grant incompatible locks
 //! simultaneously, must never lose a transaction, and must drain to
 //! quiescence.
+//!
+//! Cases are generated with desim's deterministic RNG (seeded,
+//! reproducible) so the workspace builds and tests without any registry
+//! dependency.
 
 use dbshare_lockmgr::{LockMode, LockReply, LockTable};
 use dbshare_model::{PageId, PartitionId, TxnId};
-use proptest::prelude::*;
+use desim::Rng;
 use std::collections::{HashMap, HashSet};
+
+const CASES: u64 = 256;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,13 +21,21 @@ enum Op {
     ReleaseAll { txn: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12, 0u8..6, any::<bool>())
-            .prop_map(|(txn, page, write)| Op::Request { txn, page, write }),
-        (0u8..12, 0u8..6).prop_map(|(txn, page)| Op::Release { txn, page }),
-        (0u8..12).prop_map(|txn| Op::ReleaseAll { txn }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(3) {
+        0 => Op::Request {
+            txn: rng.below(12) as u8,
+            page: rng.below(6) as u8,
+            write: rng.chance(0.5),
+        },
+        1 => Op::Release {
+            txn: rng.below(12) as u8,
+            page: rng.below(6) as u8,
+        },
+        _ => Op::ReleaseAll {
+            txn: rng.below(12) as u8,
+        },
+    }
 }
 
 fn page(p: u8) -> PageId {
@@ -60,19 +74,21 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn holders_are_always_compatible(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn holders_are_always_compatible() {
+    let mut rng = Rng::seed_from_u64(0x10C4);
+    for _ in 0..CASES {
+        let n_ops = rng.range_inclusive(1, 199);
         let mut lt = LockTable::new();
         let mut model = Model::default();
         // Track the modes requested by queued transactions so grants can
         // be applied to the model when they surface.
         let mut queued: HashMap<(u8, u8), LockMode> = HashMap::new();
 
-        let apply_grants =
-            |model: &mut Model, queued: &mut HashMap<(u8, u8), LockMode>, grants: Vec<(TxnId, LockMode)>, p: u8| {
+        let apply_grants = |model: &mut Model,
+                            queued: &mut HashMap<(u8, u8), LockMode>,
+                            grants: Vec<(TxnId, LockMode)>,
+                            p: u8| {
             for (t, m) in grants {
                 let t8 = t.raw() as u8;
                 queued.remove(&(t8, p));
@@ -80,17 +96,25 @@ proptest! {
             }
         };
 
-        for op in ops {
-            match op {
-                Op::Request { txn: t, page: p, write } => {
-                    let mode = if write { LockMode::Write } else { LockMode::Read };
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
+                Op::Request {
+                    txn: t,
+                    page: p,
+                    write,
+                } => {
+                    let mode = if write {
+                        LockMode::Write
+                    } else {
+                        LockMode::Read
+                    };
                     match lt.request(txn(t), page(p), mode) {
                         LockReply::Granted => {
                             // upgrades overwrite the previous mode
                             model.granted.insert((t, p), mode);
                         }
                         LockReply::AlreadyHeld => {
-                            prop_assert!(
+                            assert!(
                                 model.granted.contains_key(&(t, p)),
                                 "AlreadyHeld but model has no lock for ({t},{p})"
                             );
@@ -147,22 +171,28 @@ proptest! {
         for t in grantees {
             lt.release_all(txn(t));
         }
-        prop_assert!(lt.is_quiescent(), "table not quiescent after draining");
+        assert!(lt.is_quiescent(), "table not quiescent after draining");
     }
+}
 
-    #[test]
-    fn grants_never_exceed_requests(ops in prop::collection::vec(op_strategy(), 1..150)) {
+#[test]
+fn grants_never_exceed_requests() {
+    let mut rng = Rng::seed_from_u64(0x20C4);
+    for _ in 0..CASES {
+        let n_ops = rng.range_inclusive(1, 149);
         let mut lt = LockTable::new();
         let mut requested: HashSet<(u8, u8)> = HashSet::new();
-        for op in ops {
-            match op {
-                Op::Request { txn: t, page: p, .. } => {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
+                Op::Request {
+                    txn: t, page: p, ..
+                } => {
                     requested.insert((t, p));
                     lt.request(txn(t), page(p), LockMode::Write);
                 }
                 Op::Release { txn: t, page: p } => {
                     for (t2, _) in lt.release(txn(t), page(p)) {
-                        prop_assert!(
+                        assert!(
                             requested.contains(&(t2.raw() as u8, p)),
                             "grant to ({t2}, {p}) never requested"
                         );
@@ -170,7 +200,7 @@ proptest! {
                 }
                 Op::ReleaseAll { txn: t } => {
                     for (pg, t2, _) in lt.release_all(txn(t)) {
-                        prop_assert!(
+                        assert!(
                             requested.contains(&(t2.raw() as u8, pg.number() as u8)),
                             "grant to ({t2}, {pg}) never requested"
                         );
@@ -179,19 +209,24 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn fifo_write_queue_grants_in_request_order(waiters in 2u8..20) {
+#[test]
+fn fifo_write_queue_grants_in_request_order() {
+    for waiters in 2u8..20 {
         let mut lt = LockTable::new();
         lt.request(txn(100), page(0), LockMode::Write);
         for t in 0..waiters {
-            prop_assert_eq!(lt.request(txn(t), page(0), LockMode::Write), LockReply::Queued);
+            assert_eq!(
+                lt.request(txn(t), page(0), LockMode::Write),
+                LockReply::Queued
+            );
         }
         let mut current = 100u8;
         for expect in 0..waiters {
             let grants = lt.release(txn(current), page(0));
-            prop_assert_eq!(grants.len(), 1);
-            prop_assert_eq!(grants[0].0, txn(expect));
+            assert_eq!(grants.len(), 1);
+            assert_eq!(grants[0].0, txn(expect));
             current = expect;
         }
     }

@@ -457,7 +457,9 @@ impl SystemConfig {
             return Err(ConfigError::new("GEM needs at least one server"));
         }
         if self.lock_engine.servers == 0 || self.lock_engine.op_service_us <= 0.0 {
-            return Err(ConfigError::new("lock engine needs servers and service time"));
+            return Err(ConfigError::new(
+                "lock engine needs servers and service time",
+            ));
         }
         if self.comm.bandwidth_mb_per_s <= 0.0 {
             return Err(ConfigError::new("network bandwidth must be positive"));
@@ -470,14 +472,15 @@ impl SystemConfig {
                 StorageAllocation::Disk { disks: 0 } => {
                     return Err(ConfigError::new("disk array with zero disks"));
                 }
-                StorageAllocation::CachedDisk { disks, cache_pages, .. }
-                    if disks == 0 || cache_pages == 0 =>
-                {
+                StorageAllocation::CachedDisk {
+                    disks, cache_pages, ..
+                } if disks == 0 || cache_pages == 0 => {
                     return Err(ConfigError::new("cached disk array needs disks and cache"));
                 }
-                StorageAllocation::WriteBufferedDisk { disks, buffer_pages }
-                    if disks == 0 || buffer_pages == 0 =>
-                {
+                StorageAllocation::WriteBufferedDisk {
+                    disks,
+                    buffer_pages,
+                } if disks == 0 || buffer_pages == 0 => {
                     return Err(ConfigError::new(
                         "write-buffered disk array needs disks and a buffer",
                     ));
@@ -508,7 +511,8 @@ impl SystemConfig {
     /// For Table 4.1 (100 TPS, 250k instructions, 40 MIPS) this is the
     /// paper's "at least 62.5%".
     pub fn base_cpu_utilization(&self, accesses_per_txn: f64) -> f64 {
-        let path = self.cpu.bot_instr + self.cpu.eot_instr + accesses_per_txn * self.cpu.per_access_instr;
+        let path =
+            self.cpu.bot_instr + self.cpu.eot_instr + accesses_per_txn * self.cpu.per_access_instr;
         self.arrival_tps_per_node * path / self.cpu.node_ips()
     }
 

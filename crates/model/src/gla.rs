@@ -188,7 +188,10 @@ mod tests {
         let map = GlaMap::central(4, 3);
         for part in 0..3u16 {
             for n in [0u64, 17, 9999] {
-                assert_eq!(map.gla_of(PageId::new(PartitionId::new(part), n)), NodeId::new(0));
+                assert_eq!(
+                    map.gla_of(PageId::new(PartitionId::new(part), n)),
+                    NodeId::new(0)
+                );
             }
         }
     }

@@ -18,9 +18,9 @@ pub mod config;
 pub mod gla;
 
 pub use config::{
-    CommConfig, CouplingMode, CpuConfig, CrashConfig, DiskConfig, GemConfig, LockEngineConfig, LogStorage, PageTransferMode,
-    PartitionConfig, RoutingStrategy, RunControl, StorageAllocation, SystemConfig,
-    UpdateStrategy,
+    CommConfig, CouplingMode, CpuConfig, CrashConfig, DiskConfig, GemConfig, LockEngineConfig,
+    LogStorage, PageTransferMode, PartitionConfig, RoutingStrategy, RunControl, StorageAllocation,
+    SystemConfig, UpdateStrategy,
 };
 pub use ids::{NodeId, PageId, PartitionId, TxnId, TxnTypeId};
 pub use txn::{AccessMode, PageRef, TxnSpec};

@@ -248,7 +248,13 @@ mod tests {
         let evicted = b.insert(page(0, 3), 0, false);
         assert_eq!(
             evicted,
-            Some((page(0, 1), Frame { seqno: 0, dirty: true }))
+            Some((
+                page(0, 1),
+                Frame {
+                    seqno: 0,
+                    dirty: true
+                }
+            ))
         );
     }
 

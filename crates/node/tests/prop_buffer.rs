@@ -1,11 +1,17 @@
-//! Property-based tests of the buffer manager: capacity is never
+//! Randomized tests of the buffer manager: capacity is never
 //! exceeded, lookups agree with a reference model of page presence and
 //! versions, and dirty pages are never silently dropped.
+//!
+//! Cases are generated with desim's deterministic RNG (seeded,
+//! reproducible) so the workspace builds and tests without any registry
+//! dependency.
 
 use dbshare_model::{PageId, PartitionId};
 use dbshare_node::buffer::{BufferManager, Lookup};
-use proptest::prelude::*;
+use desim::Rng;
 use std::collections::HashMap;
+
+const CASES: u64 = 256;
 
 fn page(p: u8) -> PageId {
     PageId::new(PartitionId::new(0), p as u64)
@@ -19,32 +25,41 @@ enum Op {
     MarkClean { page: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..30, 0u8..8).prop_map(|(page, seqno)| Op::Lookup { page, seqno }),
-        (0u8..30, 0u8..8, any::<bool>())
-            .prop_map(|(page, seqno, dirty)| Op::Insert { page, seqno, dirty }),
-        (0u8..30, 0u8..8).prop_map(|(page, seqno)| Op::MarkDirty { page, seqno }),
-        (0u8..30).prop_map(|page| Op::MarkClean { page }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::Lookup {
+            page: rng.below(30) as u8,
+            seqno: rng.below(8) as u8,
+        },
+        1 => Op::Insert {
+            page: rng.below(30) as u8,
+            seqno: rng.below(8) as u8,
+            dirty: rng.chance(0.5),
+        },
+        2 => Op::MarkDirty {
+            page: rng.below(30) as u8,
+            seqno: rng.below(8) as u8,
+        },
+        _ => Op::MarkClean {
+            page: rng.below(30) as u8,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn buffer_agrees_with_reference_model(
-        cap in 1u64..16,
-        ops in prop::collection::vec(op_strategy(), 1..300),
-    ) {
+#[test]
+fn buffer_agrees_with_reference_model() {
+    let mut rng = Rng::seed_from_u64(0xBFF1);
+    for _ in 0..CASES {
+        let cap = rng.range_inclusive(1, 15);
+        let n_ops = rng.range_inclusive(1, 299);
         let mut buf = BufferManager::new(cap, 1);
         // model: page -> (seqno, dirty)
         let mut model: HashMap<u8, (u8, bool)> = HashMap::new();
         let mut dirty_evictions = 0u32;
         let mut model_dirty_drops = 0u32;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Lookup { page: p, seqno } => {
                     let expect = match model.get(&p) {
                         Some(&(s, _)) if s >= seqno => Lookup::Hit,
@@ -52,19 +67,23 @@ proptest! {
                         None => Lookup::Miss,
                     };
                     let got = buf.lookup(page(p), seqno as u64);
-                    prop_assert_eq!(got, expect, "lookup({}, {})", p, seqno);
+                    assert_eq!(got, expect, "lookup({p}, {seqno})");
                     if got == Lookup::Invalidated {
                         model.remove(&p); // obsolete copies are dropped
                     }
                 }
-                Op::Insert { page: p, seqno, dirty } => {
+                Op::Insert {
+                    page: p,
+                    seqno,
+                    dirty,
+                } => {
                     let evicted = buf.insert(page(p), seqno as u64, dirty);
                     model.insert(p, (seqno, dirty));
                     if let Some((ep, frame)) = evicted {
-                        prop_assert!(frame.dirty, "only dirty evictions surface");
+                        assert!(frame.dirty, "only dirty evictions surface");
                         dirty_evictions += 1;
                         let removed = model.remove(&(ep.number() as u8));
-                        prop_assert!(removed.is_some());
+                        assert!(removed.is_some());
                         model_dirty_drops += 1;
                     } else if model.len() > cap as usize {
                         // a clean page was evicted silently; drop the LRU
@@ -76,7 +95,7 @@ proptest! {
                     let evicted = buf.mark_dirty(page(p), seqno as u64);
                     model.insert(p, (seqno, true));
                     if let Some((ep, frame)) = evicted {
-                        prop_assert!(frame.dirty);
+                        assert!(frame.dirty);
                         dirty_evictions += 1;
                         model.remove(&(ep.number() as u8));
                         model_dirty_drops += 1;
@@ -91,24 +110,28 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(buf.len() as u64 <= cap, "capacity exceeded");
-            prop_assert_eq!(dirty_evictions, model_dirty_drops);
+            assert!(buf.len() as u64 <= cap, "capacity exceeded");
+            assert_eq!(dirty_evictions, model_dirty_drops);
             // every model entry is present with the same seqno
             for (&k, &(s, d)) in &model {
-                prop_assert_eq!(buf.cached_seqno(page(k)), Some(s as u64));
-                prop_assert_eq!(buf.is_dirty(page(k)), d, "dirty flag of {}", k);
+                assert_eq!(buf.cached_seqno(page(k)), Some(s as u64));
+                assert_eq!(buf.is_dirty(page(k)), d, "dirty flag of {k}");
             }
         }
     }
+}
 
-    #[test]
-    fn hit_ratio_is_consistent_with_counts(
-        lookups in prop::collection::vec((0u8..10, any::<bool>()), 1..120),
-    ) {
+#[test]
+fn hit_ratio_is_consistent_with_counts() {
+    let mut rng = Rng::seed_from_u64(0xBFF2);
+    for _ in 0..CASES {
+        let n_lookups = rng.range_inclusive(1, 119);
         let mut buf = BufferManager::new(8, 1);
         let mut hits = 0u64;
         let mut total = 0u64;
-        for (p, insert_after) in lookups {
+        for _ in 0..n_lookups {
+            let p = rng.below(10) as u8;
+            let insert_after = rng.chance(0.5);
             if buf.lookup(page(p), 0) == Lookup::Hit {
                 hits += 1;
             }
@@ -118,9 +141,9 @@ proptest! {
             }
         }
         let c = buf.counters(0);
-        prop_assert_eq!(c.hits, hits);
-        prop_assert_eq!(c.hits + c.misses + c.invalidations, total);
+        assert_eq!(c.hits, hits);
+        assert_eq!(c.hits + c.misses + c.invalidations, total);
         let ratio = c.hit_ratio();
-        prop_assert!((0.0..=1.0).contains(&ratio));
+        assert!((0.0..=1.0).contains(&ratio));
     }
 }

@@ -2,7 +2,7 @@
 //! buffer-invalidation detection, and page acquisition (buffer hit,
 //! page request to the owner, or storage read).
 
-use super::{Cont, Engine, Job, Msg, MsgBody, Phase, PendingWrite, ReqCtx};
+use super::{Cont, Engine, Job, Msg, MsgBody, PendingWrite, Phase, ReqCtx};
 use dbshare_lockmgr::{LockMode, LockReply};
 use dbshare_model::{AccessMode, CouplingMode, NodeId, PageId, TxnId};
 use desim::SimTime;
@@ -117,7 +117,8 @@ impl Engine {
             }
             LockReply::Queued => {
                 self.counters.lock_waits += 1;
-                self.txn_mut(id).begin_wait(now, Phase::LockWait, Some(page));
+                self.txn_mut(id)
+                    .begin_wait(now, Phase::LockWait, Some(page));
             }
         }
     }
@@ -125,7 +126,9 @@ impl Engine {
     /// A queued GEM lock was granted and the waiter's grant-processing
     /// CPU slice (entry re-read) finished: resume the access.
     pub(crate) fn gem_grant_exec(&mut self, now: SimTime, id: TxnId) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         let Some(page) = t.waiting_page else { return };
         t.end_lock_wait(now);
         if !t.held_gem.contains(&page) {
@@ -143,7 +146,9 @@ impl Engine {
         grants: Vec<(PageId, TxnId, LockMode)>,
     ) {
         for (_page, t2, _mode) in grants {
-            let Some(t) = self.txns.get(&t2) else { continue };
+            let Some(t) = self.txns.get(&t2) else {
+                continue;
+            };
             let node = t.node;
             let svc = self.fixed(self.cfg.gem.lock_op_instr);
             self.dispatch(
@@ -215,7 +220,8 @@ impl Engine {
         }
         self.counters.remote_lock_requests += 1;
         let cached = self.nodes[node.index()].buffer.cached_seqno(page);
-        self.txn_mut(id).begin_wait(now, Phase::LockWait, Some(page));
+        self.txn_mut(id)
+            .begin_wait(now, Phase::LockWait, Some(page));
         self.send_msg(
             now,
             Msg {
@@ -263,7 +269,8 @@ impl Engine {
                 },
             );
             self.counters.lock_waits += 1;
-            self.txn_mut(id).begin_wait(now, Phase::LockWait, Some(page));
+            self.txn_mut(id)
+                .begin_wait(now, Phase::LockWait, Some(page));
             for target in out.revoke {
                 self.send_msg(
                     now,
@@ -295,14 +302,17 @@ impl Engine {
             }
             LockReply::Queued => {
                 self.counters.lock_waits += 1;
-                self.txn_mut(id).begin_wait(now, Phase::LockWait, Some(page));
+                self.txn_mut(id)
+                    .begin_wait(now, Phase::LockWait, Some(page));
             }
         }
     }
 
     /// A queued local-GLA lock was granted; the waiter resumes.
     pub(crate) fn pcl_local_grant_exec(&mut self, now: SimTime, id: TxnId, page: PageId) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         t.end_lock_wait(now);
         let node = t.node;
         let r = t.spec.refs()[t.step];
@@ -397,7 +407,8 @@ impl Engine {
                 {
                     // Request the current version from its owner.
                     self.counters.page_requests += 1;
-                    self.txn_mut(id).begin_wait(now, Phase::PageWait, Some(page));
+                    self.txn_mut(id)
+                        .begin_wait(now, Phase::PageWait, Some(page));
                     self.send_msg(
                         now,
                         Msg {

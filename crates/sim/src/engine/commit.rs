@@ -34,7 +34,9 @@ impl Engine {
     /// model — this is what makes the force-write latency of each
     /// individual file visible, §4.4).
     pub(crate) fn commit_init(&mut self, now: SimTime, id: TxnId) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         let force = self.cfg.update == UpdateStrategy::Force;
         let mut writes: Vec<CommitWrite> = Vec::new();
         if force {
@@ -57,7 +59,9 @@ impl Engine {
     /// Initiates the `idx`-th commit write: CPU for the I/O initiation,
     /// performed synchronously for GEM-resident pages.
     pub(crate) fn commit_write_init(&mut self, now: SimTime, id: TxnId, idx: usize) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         if idx >= t.commit_writes.len() {
             self.phase2_begin(now, id);
             return;
@@ -78,7 +82,10 @@ impl Engine {
                         gem_entries: 0,
                         gem_pages: 1,
                         txn: Some(id),
-                        cont: Cont::CommitWriteInit { txn: id, idx: idx + 1 },
+                        cont: Cont::CommitWriteInit {
+                            txn: id,
+                            idx: idx + 1,
+                        },
                     },
                 );
             }
@@ -113,7 +120,9 @@ impl Engine {
     /// Issues the `idx`-th commit write to its device; the next write
     /// is initiated when this one completes (sequential chain).
     pub(crate) fn commit_write_issue(&mut self, now: SimTime, id: TxnId, idx: usize) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         let node = t.node;
         let w = t.commit_writes[idx];
         let served = match w.page {
@@ -137,7 +146,9 @@ impl Engine {
 
     /// A commit write finished: initiate the next one (or phase 2).
     pub(crate) fn commit_io_chain(&mut self, now: SimTime, id: TxnId, idx: usize) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         t.end_io_wait(now);
         self.commit_write_init(now, id, idx + 1);
     }
@@ -165,12 +176,8 @@ impl Engine {
             }
             dbshare_model::CouplingMode::Pcl => {
                 let t = self.txn(id);
-                let locals = t
-                    .held_gla
-                    .iter()
-                    .filter(|&&(g, _, _)| g == node)
-                    .count()
-                    + t.held_ra.len();
+                let locals =
+                    t.held_gla.iter().filter(|&&(g, _, _)| g == node).count() + t.held_ra.len();
                 let svc = self.fixed(self.cfg.pcl_local_lock_instr * locals.max(1) as f64);
                 self.dispatch(
                     now,

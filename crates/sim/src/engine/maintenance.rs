@@ -136,9 +136,7 @@ impl Engine {
         let mut guard = 0u32;
         loop {
             let mut edges = match self.cfg.coupling {
-                CouplingMode::GemLocking | CouplingMode::LockEngine => {
-                    self.glt.waits_for_edges()
-                }
+                CouplingMode::GemLocking | CouplingMode::LockEngine => self.glt.waits_for_edges(),
                 CouplingMode::Pcl => {
                     let mut e = Vec::new();
                     for g in &self.gla {
@@ -162,7 +160,9 @@ impl Engine {
             // victim selection (and thus the whole run) is reproducible.
             edges.sort_unstable();
             edges.dedup();
-            let Some(cycle) = find_cycle(&edges) else { break };
+            let Some(cycle) = find_cycle(&edges) else {
+                break;
+            };
             let victim = choose_victim(&cycle);
             self.abort(now, victim, AbortReason::Deadlock);
             guard += 1;
@@ -184,11 +184,8 @@ impl Engine {
                 let page = t.waiting_page;
                 let holders = page
                     .map(|p| match self.cfg.coupling {
-                        CouplingMode::GemLocking | CouplingMode::LockEngine => {
-                            self.glt.holders(p)
-                        }
-                        CouplingMode::Pcl =>
-                            self.gla[self.gla_map.gla_of(p).index()].holders_of(p),
+                        CouplingMode::GemLocking | CouplingMode::LockEngine => self.glt.holders(p),
+                        CouplingMode::Pcl => self.gla[self.gla_map.gla_of(p).index()].holders_of(p),
                     })
                     .unwrap_or_default();
                 let holder_info: Vec<String> = holders
@@ -213,7 +210,8 @@ impl Engine {
                         }
                         CouplingMode::Pcl =>
                             self.gla[self.gla_map.gla_of(p).index()].queue_len_of(p),
-                    }).unwrap_or(0),
+                    })
+                    .unwrap_or(0),
                     holder_info.join(" | ")
                 );
                 if std::env::var_os("DBSHARE_DEBUG_STUCK").is_some() {
@@ -258,8 +256,7 @@ impl Engine {
                     let grants = grants.into_iter().map(|(t2, m)| (p, t2, m)).collect();
                     self.process_gla_grants(now, g, grants);
                 }
-                let mut authorities: Vec<NodeId> =
-                    t.held_gla.iter().map(|&(g, _, _)| g).collect();
+                let mut authorities: Vec<NodeId> = t.held_gla.iter().map(|&(g, _, _)| g).collect();
                 authorities.sort_unstable();
                 authorities.dedup();
                 for g in authorities {
@@ -282,8 +279,7 @@ impl Engine {
             }
         }
         // Restart after a short randomized delay.
-        let delay =
-            SimDuration::from_millis_f64(self.restart_rng.exp(RESTART_DELAY_MS));
+        let delay = SimDuration::from_millis_f64(self.restart_rng.exp(RESTART_DELAY_MS));
         self.cal.schedule(
             now + delay,
             Event::Restart {
@@ -331,7 +327,11 @@ impl Engine {
                             .map(|&(h, m)| {
                                 format!(
                                     "{h:?}:{m:?}:{}",
-                                    if self.txns.contains_key(&h) { "live" } else { "LEAKED" }
+                                    if self.txns.contains_key(&h) {
+                                        "live"
+                                    } else {
+                                        "LEAKED"
+                                    }
                                 )
                             })
                             .collect();
@@ -348,7 +348,11 @@ impl Engine {
             let mut edges = self.glt.waits_for_edges();
             edges.sort_unstable();
             edges.dedup();
-            eprintln!("  EDGES({}): {:?}", edges.len(), &edges[..edges.len().min(60)]);
+            eprintln!(
+                "  EDGES({}): {:?}",
+                edges.len(),
+                &edges[..edges.len().min(60)]
+            );
             eprintln!("  CYCLE: {:?}", find_cycle(&edges));
             let mut lw: Vec<_> = self
                 .txns
@@ -405,7 +409,12 @@ impl Engine {
                     if let Some(ht) = self.txns.get(h) {
                         eprintln!(
                             "    -> holder {:?} phase={:?} step={}/{} waiting={:?} node={}",
-                            h, ht.phase, ht.step, ht.spec.refs().len(), ht.waiting_page, ht.node
+                            h,
+                            ht.phase,
+                            ht.step,
+                            ht.spec.refs().len(),
+                            ht.waiting_page,
+                            ht.node
                         );
                     } else {
                         eprintln!("    -> holder {h:?} NOT LIVE (leaked lock!)");
@@ -603,11 +612,7 @@ impl Engine {
                 .cloned()
                 .zip(dev.partitions.iter().map(|p| p.disk_utilization))
                 .collect(),
-            log_utilization_max: dev
-                .log_utilization
-                .iter()
-                .cloned()
-                .fold(0.0, f64::max),
+            log_utilization_max: dev.log_utilization.iter().cloned().fold(0.0, f64::max),
             deadlock_aborts: c.deadlock_aborts,
             timeout_aborts: c.timeout_aborts,
             crash_aborts: c.crash_aborts,

@@ -49,7 +49,8 @@ impl Engine {
             self.cfg.comm.short_msg_bytes
         };
         let delivered = self.storage.send(now, bytes);
-        self.cal.schedule(delivered, super::Event::Delivered { msg });
+        self.cal
+            .schedule(delivered, super::Event::Delivered { msg });
         if let Some(id) = last_of {
             self.txn_complete(now, id);
         }
@@ -85,8 +86,7 @@ impl Engine {
             _ => {}
         }
         let attributed = match &msg.body {
-            MsgBody::LockGrant { txn, .. }
-            | MsgBody::PageReply { txn, .. } => Some(*txn),
+            MsgBody::LockGrant { txn, .. } | MsgBody::PageReply { txn, .. } => Some(*txn),
             _ => None,
         };
         let svc = self.fixed(instr);
@@ -122,25 +122,23 @@ impl Engine {
                 ra,
             } => self.requester_grant(now, msg.to, txn, page, mode, seqno, with_page, ra),
             MsgBody::Release { txn, pages } => self.gla_release(now, msg.to, txn, pages),
-            MsgBody::Revoke { page, writer } => {
-                match self.nodes[msg.to.index()].ra.revoke(page) {
-                    RevokeAction::AckNow => self.send_msg(
-                        now,
-                        Msg {
-                            from: msg.to,
-                            to: msg.from,
-                            body: MsgBody::RevokeAck { page, writer },
-                        },
-                        None,
-                        None,
-                    ),
-                    RevokeAction::Deferred => {
-                        self.nodes[msg.to.index()]
-                            .pending_acks
-                            .insert(page, (msg.from, writer));
-                    }
+            MsgBody::Revoke { page, writer } => match self.nodes[msg.to.index()].ra.revoke(page) {
+                RevokeAction::AckNow => self.send_msg(
+                    now,
+                    Msg {
+                        from: msg.to,
+                        to: msg.from,
+                        body: MsgBody::RevokeAck { page, writer },
+                    },
+                    None,
+                    None,
+                ),
+                RevokeAction::Deferred => {
+                    self.nodes[msg.to.index()]
+                        .pending_acks
+                        .insert(page, (msg.from, writer));
                 }
-            }
+            },
             MsgBody::RevokeAck { page, writer } => {
                 let ready = if let Some(pw) = self.pending_writes.get_mut(&writer) {
                     debug_assert_eq!(pw.ctx.page, page, "ack for the wrong page");
@@ -274,7 +272,13 @@ impl Engine {
     /// The GLA processes a commit-time release: record modifications
     /// (receiving the new versions under NOFORCE), release the locks,
     /// and wake waiters.
-    fn gla_release(&mut self, now: SimTime, gla_node: NodeId, txn: TxnId, pages: Vec<(PageId, bool)>) {
+    fn gla_release(
+        &mut self,
+        now: SimTime,
+        gla_node: NodeId,
+        txn: TxnId,
+        pages: Vec<(PageId, bool)>,
+    ) {
         let noforce = self.is_noforce();
         for (page, modified) in &pages {
             if *modified {
@@ -302,7 +306,14 @@ impl Engine {
     /// The owner answers a page request: from its buffer (long reply),
     /// through GEM (transfer mode), or "not found" after it already
     /// wrote the page back.
-    fn owner_page_req(&mut self, now: SimTime, owner: NodeId, from: NodeId, txn: TxnId, page: PageId) {
+    fn owner_page_req(
+        &mut self,
+        now: SimTime,
+        owner: NodeId,
+        from: NodeId,
+        txn: TxnId,
+        page: PageId,
+    ) {
         let cached = self.nodes[owner.index()].buffer.cached_seqno(page);
         match cached {
             Some(seqno) if self.cfg.page_transfer == PageTransferMode::Gem => {
@@ -442,7 +453,9 @@ impl Engine {
     }
 
     fn install_transferred_page(&mut self, now: SimTime, id: TxnId, page: PageId, seqno: u64) {
-        let Some(t) = self.txns.get_mut(&id) else { return };
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
         let node = t.node;
         self.metrics
             .page_req_delay

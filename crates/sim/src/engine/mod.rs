@@ -159,7 +159,9 @@ impl Engine {
             measured: 0,
             part_locking,
             part_names,
-            local_logs: (0..cfg.nodes).map(|i| LocalLog::new(NodeId::new(i))).collect(),
+            local_logs: (0..cfg.nodes)
+                .map(|i| LocalLog::new(NodeId::new(i)))
+                .collect(),
             cfg,
             mean_arrival_gap_us,
         })
@@ -368,10 +370,7 @@ impl Engine {
         let id = TxnId::new(self.next_txn);
         self.next_txn += 1;
         let mut t = Txn::new(id, node, spec, arrival, restarts);
-        let granted = self.nodes[node.index()]
-            .mpl
-            .acquire(now, id)
-            .is_some();
+        let granted = self.nodes[node.index()].mpl.acquire(now, id).is_some();
         if granted {
             t.admitted = now;
             t.phase = Phase::Running;
@@ -403,7 +402,9 @@ impl Engine {
     /// (A transaction may have been killed by a node crash while its
     /// final send was in flight; completion is then a no-op.)
     pub(crate) fn txn_complete(&mut self, now: SimTime, id: TxnId) {
-        let Some(t) = self.txns.remove(&id) else { return };
+        let Some(t) = self.txns.remove(&id) else {
+            return;
+        };
         debug_assert_eq!(t.id, id);
         if !t.modified.is_empty() {
             self.local_logs[t.node.index()].append(now, id, t.modified.len() as u32);

@@ -72,6 +72,94 @@ impl Series {
             .find(|&&(n, _)| n == nodes)
             .map(|(_, r)| r)
     }
+
+    /// The node counts this curve actually has points for, in sweep
+    /// order. Callers rendering several curves against a shared node
+    /// axis should consult this (or [`Series::at`], which returns
+    /// `None` for absent points) rather than assuming every curve
+    /// covers every node count.
+    pub fn node_counts(&self) -> Vec<u16> {
+        self.points.iter().map(|&(n, _)| n).collect()
+    }
+}
+
+/// A data-only description of one simulation run: everything a worker
+/// needs to execute it, with no closures, so sweeps can be flattened
+/// into independent jobs, fingerprinted, and logged (the
+/// `dbshare-harness` crate builds on this).
+#[derive(Debug, Clone, Copy)]
+pub enum RunSpec {
+    /// A debit-credit run (Figs. 4.1–4.6).
+    DebitCredit(DebitCreditRun),
+    /// A debit-credit run against the central lock engine with an
+    /// explicit per-operation service time (the §5 comparison).
+    LockEngine {
+        /// Preset parameters (with [`CouplingMode::LockEngine`]).
+        params: DebitCreditRun,
+        /// Lock-engine service time per operation in microseconds.
+        op_service_us: f64,
+    },
+    /// A trace-driven run (Fig. 4.7).
+    Trace(TraceRun),
+}
+
+impl RunSpec {
+    /// Executes the run. Deterministic: equal specs produce equal
+    /// reports on every invocation, in any process, on any thread.
+    pub fn execute(&self) -> RunReport {
+        match *self {
+            RunSpec::DebitCredit(p) => debit_credit_run(p),
+            RunSpec::LockEngine {
+                params,
+                op_service_us,
+            } => debit_credit_run_with(params, |cfg| cfg.lock_engine.op_service_us = op_service_us),
+            RunSpec::Trace(p) => trace_run(p),
+        }
+    }
+
+    /// Number of nodes the run simulates.
+    pub fn nodes(&self) -> u16 {
+        match *self {
+            RunSpec::DebitCredit(p) | RunSpec::LockEngine { params: p, .. } => p.nodes,
+            RunSpec::Trace(p) => p.nodes,
+        }
+    }
+
+    /// The run's master seed.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            RunSpec::DebitCredit(p) | RunSpec::LockEngine { params: p, .. } => p.seed,
+            RunSpec::Trace(p) => p.seed,
+        }
+    }
+}
+
+/// One curve of a figure as a grid of pending runs: the shape of the
+/// sweep without any of the work. Produced by the `*_grid` preset
+/// functions; executed serially by [`run_grid_serial`] or in parallel
+/// by the `dbshare-harness` worker pool.
+#[derive(Debug, Clone)]
+pub struct CurveGrid {
+    /// Curve label as in the paper's legend.
+    pub label: String,
+    /// `(nodes, spec)` per swept point.
+    pub points: Vec<(u16, RunSpec)>,
+}
+
+/// Executes a grid serially, point by point, in declaration order.
+/// The parallel harness reassembles its results into exactly this
+/// shape, so the two are interchangeable.
+pub fn run_grid_serial(grid: Vec<CurveGrid>) -> Vec<Series> {
+    grid.into_iter()
+        .map(|c| Series {
+            label: c.label,
+            points: c
+                .points
+                .into_iter()
+                .map(|(n, spec)| (n, spec.execute()))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Parameters of one debit-credit run.
@@ -136,7 +224,10 @@ pub fn debit_credit_run(p: DebitCreditRun) -> RunReport {
 /// Like [`debit_credit_run`], with a final hook to adjust any
 /// [`SystemConfig`] field the preset does not expose (lock-engine
 /// timing, MPL, CPU capacity, ...).
-pub fn debit_credit_run_with(p: DebitCreditRun, tweak: impl FnOnce(&mut SystemConfig)) -> RunReport {
+pub fn debit_credit_run_with(
+    p: DebitCreditRun,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> RunReport {
     debit_credit_run_at(p, 100.0, tweak)
 }
 
@@ -218,19 +309,21 @@ fn disks_of(s: &StorageAllocation) -> u32 {
     }
 }
 
-fn sweep<F>(label: &str, nodes: &[u16], mut f: F) -> Series
+/// Builds one grid curve from a per-node spec constructor.
+fn grid_curve<F>(label: &str, nodes: &[u16], mut f: F) -> CurveGrid
 where
-    F: FnMut(u16) -> RunReport,
+    F: FnMut(u16) -> RunSpec,
 {
-    Series {
+    CurveGrid {
         label: label.to_string(),
         points: nodes.iter().map(|&n| (n, f(n))).collect(),
     }
 }
 
-/// Fig. 4.1: GEM locking, response time vs. nodes for random/affinity
-/// routing × FORCE/NOFORCE (buffer 200, all files on disk).
-pub fn fig41(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.1 as a grid of pending runs: GEM locking, response time vs.
+/// nodes for random/affinity routing × FORCE/NOFORCE (buffer 200, all
+/// files on disk).
+pub fn fig41_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (routing, rl) in [
         (RoutingStrategy::Random, "random"),
@@ -240,8 +333,8 @@ pub fn fig41(nodes: &[u16], run: RunLength) -> Vec<Series> {
             (UpdateStrategy::Force, "FORCE"),
             (UpdateStrategy::NoForce, "NOFORCE"),
         ] {
-            out.push(sweep(&format!("{rl}/{ul}"), nodes, |n| {
-                debit_credit_run(DebitCreditRun {
+            out.push(grid_curve(&format!("{rl}/{ul}"), nodes, |n| {
+                RunSpec::DebitCredit(DebitCreditRun {
                     nodes: n,
                     routing,
                     update,
@@ -253,17 +346,23 @@ pub fn fig41(nodes: &[u16], run: RunLength) -> Vec<Series> {
     out
 }
 
-/// Fig. 4.2: influence of buffer size (200 vs. 1000) for random
-/// routing, FORCE and NOFORCE, GEM locking.
-pub fn fig42(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.1: GEM locking, response time vs. nodes for random/affinity
+/// routing × FORCE/NOFORCE (buffer 200, all files on disk).
+pub fn fig41(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig41_grid(nodes, run))
+}
+
+/// Fig. 4.2 as a grid of pending runs: buffer size 200 vs. 1000 for
+/// random routing, FORCE and NOFORCE, GEM locking.
+pub fn fig42_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for buffer in [200u64, 1_000] {
         for (update, ul) in [
             (UpdateStrategy::Force, "FORCE"),
             (UpdateStrategy::NoForce, "NOFORCE"),
         ] {
-            out.push(sweep(&format!("{ul}/buffer {buffer}"), nodes, |n| {
-                debit_credit_run(DebitCreditRun {
+            out.push(grid_curve(&format!("{ul}/buffer {buffer}"), nodes, |n| {
+                RunSpec::DebitCredit(DebitCreditRun {
                     nodes: n,
                     routing: RoutingStrategy::Random,
                     update,
@@ -276,9 +375,15 @@ pub fn fig42(nodes: &[u16], run: RunLength) -> Vec<Series> {
     out
 }
 
-/// Fig. 4.3: BRANCH/TELLER on disk vs. in GEM, for NOFORCE (a) and
-/// FORCE (b), both routings, buffer 1000.
-pub fn fig43(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.2: influence of buffer size (200 vs. 1000) for random
+/// routing, FORCE and NOFORCE, GEM locking.
+pub fn fig42(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig42_grid(nodes, run))
+}
+
+/// Fig. 4.3 as a grid of pending runs: BRANCH/TELLER on disk vs. in
+/// GEM, for NOFORCE (a) and FORCE (b), both routings, buffer 1000.
+pub fn fig43_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (update, ul) in [
         (UpdateStrategy::NoForce, "NOFORCE"),
@@ -289,8 +394,8 @@ pub fn fig43(nodes: &[u16], run: RunLength) -> Vec<Series> {
                 (RoutingStrategy::Random, "random"),
                 (RoutingStrategy::Affinity, "affinity"),
             ] {
-                out.push(sweep(&format!("{ul}/{rl}/B-T {bl}"), nodes, |n| {
-                    debit_credit_run(DebitCreditRun {
+                out.push(grid_curve(&format!("{ul}/{rl}/B-T {bl}"), nodes, |n| {
+                    RunSpec::DebitCredit(DebitCreditRun {
                         nodes: n,
                         routing,
                         update,
@@ -305,9 +410,15 @@ pub fn fig43(nodes: &[u16], run: RunLength) -> Vec<Series> {
     out
 }
 
-/// Fig. 4.4: disk caches for the BRANCH/TELLER partition (FORCE,
-/// buffer 1000): disk vs. volatile cache vs. non-volatile cache vs. GEM.
-pub fn fig44(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.3: BRANCH/TELLER on disk vs. in GEM, for NOFORCE (a) and
+/// FORCE (b), both routings, buffer 1000.
+pub fn fig43(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig43_grid(nodes, run))
+}
+
+/// Fig. 4.4 as a grid of pending runs: disk caches for the
+/// BRANCH/TELLER partition (FORCE, buffer 1000).
+pub fn fig44_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (bt, bl) in [
         (BtStorage::Disk, "disk"),
@@ -319,8 +430,8 @@ pub fn fig44(nodes: &[u16], run: RunLength) -> Vec<Series> {
             (RoutingStrategy::Random, "random"),
             (RoutingStrategy::Affinity, "affinity"),
         ] {
-            out.push(sweep(&format!("{rl}/B-T {bl}"), nodes, |n| {
-                debit_credit_run(DebitCreditRun {
+            out.push(grid_curve(&format!("{rl}/B-T {bl}"), nodes, |n| {
+                RunSpec::DebitCredit(DebitCreditRun {
                     nodes: n,
                     routing,
                     update: UpdateStrategy::Force,
@@ -334,9 +445,15 @@ pub fn fig44(nodes: &[u16], run: RunLength) -> Vec<Series> {
     out
 }
 
-/// Fig. 4.5: PCL vs. GEM locking across buffer sizes, update
-/// strategies, and routings (all files on plain disks).
-pub fn fig45(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.4: disk caches for the BRANCH/TELLER partition (FORCE,
+/// buffer 1000): disk vs. volatile cache vs. non-volatile cache vs. GEM.
+pub fn fig44(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig44_grid(nodes, run))
+}
+
+/// Fig. 4.5 as a grid of pending runs: PCL vs. GEM locking across
+/// buffer sizes, update strategies, and routings.
+pub fn fig45_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (coupling, cl) in [
         (CouplingMode::GemLocking, "GEM"),
@@ -351,11 +468,11 @@ pub fn fig45(nodes: &[u16], run: RunLength) -> Vec<Series> {
                     (RoutingStrategy::Random, "random"),
                     (RoutingStrategy::Affinity, "affinity"),
                 ] {
-                    out.push(sweep(
+                    out.push(grid_curve(
                         &format!("{cl}/{rl}/{ul}/buffer {buffer}"),
                         nodes,
                         |n| {
-                            debit_credit_run(DebitCreditRun {
+                            RunSpec::DebitCredit(DebitCreditRun {
                                 nodes: n,
                                 coupling,
                                 routing,
@@ -372,10 +489,16 @@ pub fn fig45(nodes: &[u16], run: RunLength) -> Vec<Series> {
     out
 }
 
-/// Fig. 4.6: throughput per node at 80% CPU utilization for PCL and
-/// GEM locking × routing × update strategy (buffer 1000). The value is
-/// in each report's `tps_per_node_at_80pct_cpu`.
-pub fn fig46(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.5: PCL vs. GEM locking across buffer sizes, update
+/// strategies, and routings (all files on plain disks).
+pub fn fig45(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig45_grid(nodes, run))
+}
+
+/// Fig. 4.6 as a grid of pending runs: throughput per node at 80% CPU
+/// utilization for PCL and GEM locking × routing × update strategy
+/// (buffer 1000).
+pub fn fig46_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (coupling, cl) in [
         (CouplingMode::GemLocking, "GEM"),
@@ -389,8 +512,8 @@ pub fn fig46(nodes: &[u16], run: RunLength) -> Vec<Series> {
                 (UpdateStrategy::Force, "FORCE"),
                 (UpdateStrategy::NoForce, "NOFORCE"),
             ] {
-                out.push(sweep(&format!("{cl}/{rl}/{ul}"), nodes, |n| {
-                    debit_credit_run(DebitCreditRun {
+                out.push(grid_curve(&format!("{cl}/{rl}/{ul}"), nodes, |n| {
+                    RunSpec::DebitCredit(DebitCreditRun {
                         nodes: n,
                         coupling,
                         routing,
@@ -403,6 +526,13 @@ pub fn fig46(nodes: &[u16], run: RunLength) -> Vec<Series> {
         }
     }
     out
+}
+
+/// Fig. 4.6: throughput per node at 80% CPU utilization for PCL and
+/// GEM locking × routing × update strategy (buffer 1000). The value is
+/// in each report's `tps_per_node_at_80pct_cpu`.
+pub fn fig46(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig46_grid(nodes, run))
 }
 
 /// Parameters of one trace-driven run (§4.6).
@@ -453,9 +583,9 @@ pub fn trace_run(p: TraceRun) -> RunReport {
         .run()
 }
 
-/// Fig. 4.7: PCL vs. GEM locking for the real-life (synthetic-trace)
-/// workload, random and affinity routing, 1–8 nodes.
-pub fn fig47(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// Fig. 4.7 as a grid of pending runs: PCL vs. GEM locking for the
+/// real-life (synthetic-trace) workload, both routings.
+pub fn fig47_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
     for (coupling, cl) in [
         (CouplingMode::GemLocking, "GEM"),
@@ -465,8 +595,8 @@ pub fn fig47(nodes: &[u16], run: RunLength) -> Vec<Series> {
             (RoutingStrategy::Random, "random"),
             (RoutingStrategy::Affinity, "affinity"),
         ] {
-            out.push(sweep(&format!("{cl}/{rl}"), nodes, |n| {
-                trace_run(TraceRun {
+            out.push(grid_curve(&format!("{cl}/{rl}"), nodes, |n| {
+                RunSpec::Trace(TraceRun {
                     nodes: n,
                     coupling,
                     routing,
@@ -478,6 +608,12 @@ pub fn fig47(nodes: &[u16], run: RunLength) -> Vec<Series> {
         }
     }
     out
+}
+
+/// Fig. 4.7: PCL vs. GEM locking for the real-life (synthetic-trace)
+/// workload, random and affinity routing, 1–8 nodes.
+pub fn fig47(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(fig47_grid(nodes, run))
 }
 
 /// Searches (by bisection over the arrival rate) for the per-node
@@ -545,30 +681,38 @@ pub fn replicate(p: DebitCreditRun, seeds: &[u64]) -> Replication {
     }
 }
 
-/// §5 comparison: GEM locking vs. a central lock engine (\[Yu87\]) with
-/// 100 µs and 500 µs lock-operation service times. The lock engine
-/// saturates within the paper's 1–10-node range; GEM locking does not.
-pub fn lock_engine_comparison(nodes: &[u16], run: RunLength) -> Vec<Series> {
+/// §5 comparison as a grid of pending runs: GEM locking vs. a central
+/// lock engine at several per-operation service times.
+pub fn lock_engine_comparison_grid(nodes: &[u16], run: RunLength) -> Vec<CurveGrid> {
     let mut out = Vec::new();
-    out.push(sweep("GEM locking (2us entries)", nodes, |n| {
-        debit_credit_run(DebitCreditRun {
+    out.push(grid_curve("GEM locking (2us entries)", nodes, |n| {
+        RunSpec::DebitCredit(DebitCreditRun {
             routing: RoutingStrategy::Random,
             ..DebitCreditRun::baseline(n, run)
         })
     }));
     for us in [100.0f64, 300.0, 500.0] {
-        out.push(sweep(&format!("lock engine ({us:.0}us/op)"), nodes, |n| {
-            debit_credit_run_with(
-                DebitCreditRun {
+        out.push(grid_curve(
+            &format!("lock engine ({us:.0}us/op)"),
+            nodes,
+            |n| RunSpec::LockEngine {
+                params: DebitCreditRun {
                     coupling: CouplingMode::LockEngine,
                     routing: RoutingStrategy::Random,
                     ..DebitCreditRun::baseline(n, run)
                 },
-                |cfg| cfg.lock_engine.op_service_us = us,
-            )
-        }));
+                op_service_us: us,
+            },
+        ));
     }
     out
+}
+
+/// §5 comparison: GEM locking vs. a central lock engine (\[Yu87\]) with
+/// 100 µs and 500 µs lock-operation service times. The lock engine
+/// saturates within the paper's 1–10-node range; GEM locking does not.
+pub fn lock_engine_comparison(nodes: &[u16], run: RunLength) -> Vec<Series> {
+    run_grid_serial(lock_engine_comparison_grid(nodes, run))
 }
 
 /// Renders Table 4.1 (the parameter settings actually in force).

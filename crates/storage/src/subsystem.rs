@@ -153,7 +153,10 @@ impl StorageSubsystem {
                     read_hits: 0,
                     writes: 0,
                 },
-                StorageAllocation::WriteBufferedDisk { disks, buffer_pages } => PartStore {
+                StorageAllocation::WriteBufferedDisk {
+                    disks,
+                    buffer_pages,
+                } => PartStore {
                     alloc: p.storage.clone(),
                     disks: disk_array(disks),
                     controller: None,
@@ -174,7 +177,9 @@ impl StorageSubsystem {
             lock_engine: MultiServer::new(cfg.lock_engine.servers),
             lock_engine_time: SimDuration::from_micros_f64(cfg.lock_engine.op_service_us),
             network: MultiServer::new(1),
-            db_disk_time: SimDuration::from_millis_f64(d.db_disk_ms + d.controller_ms + d.transfer_ms),
+            db_disk_time: SimDuration::from_millis_f64(
+                d.db_disk_ms + d.controller_ms + d.transfer_ms,
+            ),
             cache_hit_time: SimDuration::from_millis_f64(d.controller_ms + d.transfer_ms),
             log_time: SimDuration::from_millis_f64(d.log_disk_ms + d.controller_ms + d.transfer_ms),
             gem_page_time: cfg.gem_page_time(),
@@ -641,7 +646,11 @@ mod tests {
         assert_eq!(done, SimTime::from_micros(4));
         // utilization visible
         let rep = s.report(SimTime::from_micros(400));
-        assert!((rep.gem_utilization - 0.01).abs() < 1e-6, "{}", rep.gem_utilization);
+        assert!(
+            (rep.gem_utilization - 0.01).abs() < 1e-6,
+            "{}",
+            rep.gem_utilization
+        );
         assert_eq!(rep.gem_entry_ops, 2);
     }
 
@@ -651,10 +660,7 @@ mod tests {
         // 100 B at 10 MB/s = 10 µs
         assert_eq!(s.send(SimTime::ZERO, 100), SimTime::from_micros(10));
         // 4 KB queued behind it: 10 µs + 409.6 µs
-        assert_eq!(
-            s.send(SimTime::ZERO, 4096).as_nanos(),
-            10_000 + 409_600
-        );
+        assert_eq!(s.send(SimTime::ZERO, 4096).as_nanos(), 10_000 + 409_600);
         assert_eq!(s.report(SimTime::from_millis(1)).messages, 2);
     }
 

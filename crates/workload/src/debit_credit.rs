@@ -375,14 +375,20 @@ impl Workload for DebitCreditWorkload {
             map = GlaMap::new(
                 self.dc.nodes(),
                 vec![
-                    PartitionGla::Ranged { units: self.dc.branches(), unit_pages: 1 },
+                    PartitionGla::Ranged {
+                        units: self.dc.branches(),
+                        unit_pages: 1,
+                    },
                     PartitionGla::Ranged {
                         units: self.dc.branches(),
                         unit_pages: self.dc.account_pages_per_branch(),
                     },
                     PartitionGla::Hashed,
                     // TELLER: one page per branch, branch-aligned
-                    PartitionGla::Ranged { units: self.dc.branches(), unit_pages: 1 },
+                    PartitionGla::Ranged {
+                        units: self.dc.branches(),
+                        unit_pages: 1,
+                    },
                 ],
             );
         }
@@ -541,8 +547,8 @@ mod tests {
     fn account_skew_creates_rereference_locality() {
         let dc = DebitCredit::new(1, 100.0);
         let mut uniform = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity);
-        let mut skewed = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity)
-            .with_account_skew(1.2);
+        let mut skewed =
+            DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity).with_account_skew(1.2);
         let mut rng_u = Rng::seed_from_u64(9);
         let mut rng_s = Rng::seed_from_u64(9);
         let distinct = |w: &mut DebitCreditWorkload, rng: &mut Rng| {
@@ -603,8 +609,7 @@ mod unclustered_tests {
     #[test]
     fn unclustered_txns_access_four_pages() {
         let dc = DebitCredit::new(2, 100.0);
-        let mut w =
-            DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity).unclustered();
+        let mut w = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Affinity).unclustered();
         let mut rng = Rng::seed_from_u64(3);
         let (_, spec) = w.next(&mut rng);
         let refs = spec.refs();
@@ -623,8 +628,8 @@ mod unclustered_tests {
     #[test]
     fn unclustered_gla_keeps_branch_alignment() {
         let dc = DebitCredit::new(4, 100.0);
-        let w = DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity)
-            .unclustered();
+        let w =
+            DebitCreditWorkload::new(dc.clone(), 100.0, RoutingStrategy::Affinity).unclustered();
         let gla = Workload::gla_map(&w);
         for b in [0u64, 123, 399] {
             let node = dc.branch_node(b);

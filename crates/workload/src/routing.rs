@@ -181,7 +181,12 @@ pub fn affinity_table(trace: &Trace, nodes: u16) -> RoutingTable {
         }
     }
 
-    RoutingTable::new(assign.into_iter().map(|ni| NodeId::new(ni as u16)).collect())
+    RoutingTable::new(
+        assign
+            .into_iter()
+            .map(|ni| NodeId::new(ni as u16))
+            .collect(),
+    )
 }
 
 /// Computes the PCL GLA assignment for a trace workload at page-chunk
@@ -235,7 +240,11 @@ pub fn gla_chunks(trace: &Trace, table: &RoutingTable, nodes: u16, chunk_pages: 
             .find(|&ni| node_traffic[ni] + weight <= cap)
             .unwrap_or_else(|| {
                 (0..n)
-                    .min_by(|&a, &b| node_traffic[a].partial_cmp(&node_traffic[b]).expect("finite"))
+                    .min_by(|&a, &b| {
+                        node_traffic[a]
+                            .partial_cmp(&node_traffic[b])
+                            .expect("finite")
+                    })
                     .expect("n > 0")
             });
         node_traffic[target] += weight;
@@ -247,7 +256,10 @@ pub fn gla_chunks(trace: &Trace, table: &RoutingTable, nodes: u16, chunk_pages: 
 
     GlaMap::new(
         nodes,
-        per_file_maps.into_iter().map(PartitionGla::PerPage).collect(),
+        per_file_maps
+            .into_iter()
+            .map(PartitionGla::PerPage)
+            .collect(),
     )
 }
 

@@ -100,20 +100,92 @@ fn type_profiles() -> Vec<TypeProfile> {
     // real-life trace demonstrably did not have ("lock conflicts had no
     // significant impact on performance").
     vec![
-        TypeProfile { count: 4_000, mean_refs: 12.0, write_frac: 0.0, files: vec![(0, 0.7), (1, 0.3)], sequential_scan: None },
-        TypeProfile { count: 3_500, mean_refs: 18.0, write_frac: 0.0, files: vec![(2, 0.6), (3, 0.4)], sequential_scan: None },
-        TypeProfile { count: 2_000, mean_refs: 40.0, write_frac: 0.10, files: vec![(4, 0.6), (5, 0.4)], sequential_scan: None },
-        TypeProfile { count: 1_500, mean_refs: 25.0, write_frac: 0.14, files: vec![(5, 0.5), (6, 0.5)], sequential_scan: None },
-        TypeProfile { count: 1_800, mean_refs: 60.0, write_frac: 0.0, files: vec![(1, 0.4), (7, 0.6)], sequential_scan: None },
-        TypeProfile { count: 1_200, mean_refs: 120.0, write_frac: 0.0, files: vec![(7, 0.5), (8, 0.5)], sequential_scan: None },
-        TypeProfile { count: 1_000, mean_refs: 55.0, write_frac: 0.0, files: vec![(9, 0.5), (7, 0.5)], sequential_scan: None },
-        TypeProfile { count: 1_400, mean_refs: 90.0, write_frac: 0.0, files: vec![(3, 0.5), (10, 0.5)], sequential_scan: None },
-        TypeProfile { count: 500, mean_refs: 250.0, write_frac: 0.0, files: vec![(8, 0.6), (11, 0.4)], sequential_scan: None },
-        TypeProfile { count: 400, mean_refs: 300.0, write_frac: 0.0, files: vec![(10, 0.6), (11, 0.4)], sequential_scan: None },
-        TypeProfile { count: 200, mean_refs: 180.0, write_frac: 0.0, files: vec![(12, 0.7), (0, 0.3)], sequential_scan: None },
+        TypeProfile {
+            count: 4_000,
+            mean_refs: 12.0,
+            write_frac: 0.0,
+            files: vec![(0, 0.7), (1, 0.3)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 3_500,
+            mean_refs: 18.0,
+            write_frac: 0.0,
+            files: vec![(2, 0.6), (3, 0.4)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 2_000,
+            mean_refs: 40.0,
+            write_frac: 0.10,
+            files: vec![(4, 0.6), (5, 0.4)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 1_500,
+            mean_refs: 25.0,
+            write_frac: 0.14,
+            files: vec![(5, 0.5), (6, 0.5)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 1_800,
+            mean_refs: 60.0,
+            write_frac: 0.0,
+            files: vec![(1, 0.4), (7, 0.6)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 1_200,
+            mean_refs: 120.0,
+            write_frac: 0.0,
+            files: vec![(7, 0.5), (8, 0.5)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 1_000,
+            mean_refs: 55.0,
+            write_frac: 0.0,
+            files: vec![(9, 0.5), (7, 0.5)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 1_400,
+            mean_refs: 90.0,
+            write_frac: 0.0,
+            files: vec![(3, 0.5), (10, 0.5)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 500,
+            mean_refs: 250.0,
+            write_frac: 0.0,
+            files: vec![(8, 0.6), (11, 0.4)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 400,
+            mean_refs: 300.0,
+            write_frac: 0.0,
+            files: vec![(10, 0.6), (11, 0.4)],
+            sequential_scan: None,
+        },
+        TypeProfile {
+            count: 200,
+            mean_refs: 180.0,
+            write_frac: 0.0,
+            files: vec![(12, 0.7), (0, 0.3)],
+            sequential_scan: None,
+        },
         // The ad-hoc query: three instances, each scanning >11,000
         // pages of the big file sequentially.
-        TypeProfile { count: 3, mean_refs: 11_500.0, write_frac: 0.0, files: vec![(11, 1.0)], sequential_scan: Some(11_500) },
+        TypeProfile {
+            count: 3,
+            mean_refs: 11_500.0,
+            write_frac: 0.0,
+            files: vec![(11, 1.0)],
+            sequential_scan: Some(11_500),
+        },
     ]
 }
 
@@ -187,7 +259,12 @@ impl Trace {
                 let window = FILES[file].1;
                 let start = rng.below(window.saturating_sub(scan as u64).max(1));
                 (0..scan as u64)
-                    .map(|i| PageRef::read(PageId::new(PartitionId::new(file as u16), (start + i) % window)))
+                    .map(|i| {
+                        PageRef::read(PageId::new(
+                            PartitionId::new(file as u16),
+                            (start + i) % window,
+                        ))
+                    })
                     .collect()
             } else {
                 // Read-only transactions have the heavy (exponential)
@@ -302,7 +379,9 @@ impl Trace {
                 pages,
                 locking: true,
                 storage: StorageAllocation::disk(
-                    (per_file_refs[i] as f64 / total_refs as f64 * 320.0).ceil().max(2.0) as u32,
+                    (per_file_refs[i] as f64 / total_refs as f64 * 320.0)
+                        .ceil()
+                        .max(2.0) as u32,
                 ),
             })
             .collect();

@@ -1,59 +1,63 @@
-//! Property-based tests of the workload generators: every produced
+//! Randomized tests of the workload generators: every produced
 //! transaction is well-formed for arbitrary geometries, routing is
 //! balanced, and the affinity invariants of §3.1 hold.
+//!
+//! Cases are generated with desim's deterministic RNG (seeded,
+//! reproducible) so the workspace builds and tests without any registry
+//! dependency.
 
 use dbshare_model::{RoutingStrategy, TxnSpec};
 use dbshare_workload::debit_credit::{ACCOUNT, BT, HISTORY};
 use dbshare_workload::{DebitCredit, DebitCreditWorkload, Workload};
 use desim::Rng;
-use proptest::prelude::*;
 
-fn check_spec(dc: &DebitCredit, spec: &TxnSpec) -> Result<(), TestCaseError> {
+const CASES: u64 = 64;
+
+fn check_spec(dc: &DebitCredit, spec: &TxnSpec) {
     let refs = spec.refs();
-    prop_assert_eq!(refs.len(), 3);
-    prop_assert_eq!(refs[0].page.partition(), ACCOUNT);
-    prop_assert_eq!(refs[1].page.partition(), HISTORY);
-    prop_assert_eq!(refs[2].page.partition(), BT);
+    assert_eq!(refs.len(), 3);
+    assert_eq!(refs[0].page.partition(), ACCOUNT);
+    assert_eq!(refs[1].page.partition(), HISTORY);
+    assert_eq!(refs[2].page.partition(), BT);
     // pages in range
-    prop_assert!(refs[0].page.number() < dc.account_pages());
-    prop_assert!(refs[2].page.number() < dc.bt_pages());
+    assert!(refs[0].page.number() < dc.account_pages());
+    assert!(refs[2].page.number() < dc.bt_pages());
     // the B/T reference covers the clustered BRANCH + TELLER records
-    prop_assert_eq!(refs[2].records, 2);
-    prop_assert_eq!(refs[0].records, 1);
+    assert_eq!(refs[2].records, 2);
+    assert_eq!(refs[0].records, 1);
     // all writes, history is an append
-    prop_assert!(refs.iter().all(|r| r.mode.is_write()));
-    prop_assert!(refs[1].append);
+    assert!(refs.iter().all(|r| r.mode.is_write()));
+    assert!(refs[1].append);
     // affinity key is the branch of the B/T page
-    prop_assert_eq!(spec.affinity_key(), refs[2].page.number());
-    Ok(())
+    assert_eq!(spec.affinity_key(), refs[2].page.number());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn debit_credit_specs_are_well_formed(
-        nodes in 1u16..12,
-        tps in 25.0f64..400.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn debit_credit_specs_are_well_formed() {
+    let mut meta = Rng::seed_from_u64(0xD0C1);
+    for _ in 0..CASES {
+        let nodes = meta.range_inclusive(1, 11) as u16;
+        let tps = meta.uniform(25.0, 400.0);
+        let seed = meta.next_u64();
         let dc = DebitCredit::new(nodes, tps);
         let mut wl = DebitCreditWorkload::new(dc.clone(), tps, RoutingStrategy::Affinity);
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..50 {
             let (node, spec) = wl.next(&mut rng);
-            prop_assert!(node.index() < nodes as usize);
-            check_spec(&dc, &spec)?;
+            assert!(node.index() < nodes as usize);
+            check_spec(&dc, &spec);
             // affinity routing sends the transaction to its branch's node
-            prop_assert_eq!(node, dc.branch_node(spec.affinity_key()));
+            assert_eq!(node, dc.branch_node(spec.affinity_key()));
         }
     }
+}
 
-    #[test]
-    fn random_routing_is_perfectly_balanced(
-        nodes in 1u16..10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_routing_is_perfectly_balanced() {
+    let mut meta = Rng::seed_from_u64(0xD0C2);
+    for _ in 0..CASES {
+        let nodes = meta.range_inclusive(1, 9) as u16;
+        let seed = meta.next_u64();
         let dc = DebitCredit::new(nodes, 100.0);
         let mut wl = DebitCreditWorkload::new(dc, 100.0, RoutingStrategy::Random);
         let mut rng = Rng::seed_from_u64(seed);
@@ -65,41 +69,48 @@ proptest! {
         }
         // §3.1: "we merely ensure that every node is assigned about the
         // same number of transactions" — round-robin is exact.
-        prop_assert!(counts.iter().all(|&c| c == rounds), "{counts:?}");
+        assert!(counts.iter().all(|&c| c == rounds), "{counts:?}");
     }
+}
 
-    #[test]
-    fn geometry_identities_hold(nodes in 1u16..12, tps in 25.0f64..400.0) {
+#[test]
+fn geometry_identities_hold() {
+    let mut meta = Rng::seed_from_u64(0xD0C3);
+    for _ in 0..CASES {
+        let nodes = meta.range_inclusive(1, 11) as u16;
+        let tps = meta.uniform(25.0, 400.0);
         let dc = DebitCredit::new(nodes, tps);
-        prop_assert_eq!(dc.accounts_per_branch() * dc.branches(), dc.accounts());
-        prop_assert!(dc.account_pages() * 10 == dc.accounts());
-        prop_assert_eq!(dc.bt_pages(), dc.branches());
+        assert_eq!(dc.accounts_per_branch() * dc.branches(), dc.accounts());
+        assert!(dc.account_pages() * 10 == dc.accounts());
+        assert_eq!(dc.bt_pages(), dc.branches());
         // every account maps into its branch's page range
         for b in [0, dc.branches() / 2, dc.branches() - 1] {
             let first = b * dc.accounts_per_branch();
             let last = (b + 1) * dc.accounts_per_branch() - 1;
-            prop_assert_eq!(dc.account_branch(first), b);
-            prop_assert_eq!(dc.account_branch(last), b);
+            assert_eq!(dc.account_branch(first), b);
+            assert_eq!(dc.account_branch(last), b);
             let fp = dc.account_page(first).number();
             let lp = dc.account_page(last).number();
-            prop_assert!(fp <= lp);
-            prop_assert!(lp - fp < dc.account_pages_per_branch() + 1);
+            assert!(fp <= lp);
+            assert!(lp - fp < dc.account_pages_per_branch() + 1);
         }
     }
+}
 
-    #[test]
-    fn branch_node_is_monotone_and_balanced(nodes in 1u16..12) {
+#[test]
+fn branch_node_is_monotone_and_balanced() {
+    for nodes in 1u16..12 {
         let dc = DebitCredit::new(nodes, 100.0);
         let mut counts = vec![0u64; nodes as usize];
         let mut last = 0usize;
         for b in 0..dc.branches() {
             let n = dc.branch_node(b).index();
-            prop_assert!(n >= last);
+            assert!(n >= last);
             last = n;
             counts[n] += 1;
         }
         let max = counts.iter().max().expect("non-empty");
         let min = counts.iter().min().expect("non-empty");
-        prop_assert!(max - min <= 1, "{counts:?}");
+        assert!(max - min <= 1, "{counts:?}");
     }
 }

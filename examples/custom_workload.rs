@@ -10,11 +10,11 @@
 //! cargo run --release --example custom_workload
 //! ```
 
+use dbshare::desim::Rng;
 use dbshare::model::gla::{GlaMap, PartitionGla};
+use dbshare::model::{PageId, TxnTypeId};
 use dbshare::prelude::*;
 use dbshare::workload::Workload;
-use dbshare::desim::Rng;
-use dbshare::model::{PageId, TxnTypeId};
 
 /// An 80/20 hotspot workload: each transaction touches `refs_per_txn`
 /// pages of one partition, 80% of them inside a small hot set, each
@@ -108,7 +108,10 @@ fn main() {
         "writes", "mode", "resp", "lock wait", "deadlocks", "conflicts"
     );
     for write_frac in [0.0, 0.02, 0.08] {
-        for (coupling, label) in [(CouplingMode::GemLocking, "GEM"), (CouplingMode::Pcl, "PCL")] {
+        for (coupling, label) in [
+            (CouplingMode::GemLocking, "GEM"),
+            (CouplingMode::Pcl, "PCL"),
+        ] {
             let r = run(write_frac, coupling);
             println!(
                 "{:<10} {:<6} {:>8.1}ms {:>10.2}ms {:>10} {:>10.3}",

@@ -1,6 +1,8 @@
 //! Regenerates two headline figures at reduced scale and writes them as
 //! SVG charts — the same rendering the `repro` binary uses with
-//! `--svg`, shown here through the library API.
+//! `--svg`, shown here through the library API. Both figures' runs are
+//! flattened into one job list and executed on the `dbshare-harness`
+//! worker pool, exactly like `repro` does.
 //!
 //! ```text
 //! cargo run --release --example paper_figures [output-dir]
@@ -8,6 +10,7 @@
 
 use dbshare::prelude::*;
 use dbshare_bench::chart::Chart;
+use dbshare_harness::{Harness, Sweep};
 
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "figures".into());
@@ -15,13 +18,27 @@ fn main() {
     let nodes = [1u16, 2, 4, 6, 8, 10];
     let run = RunLength::quick();
 
+    // One pool run covers both figures; per-job progress goes to
+    // stderr, and the reassembled series are identical to calling
+    // experiments::fig41 / fig46 directly.
+    let outcome = Harness::new().progress(true).run(vec![
+        Sweep {
+            figure: "fig41".into(),
+            grid: experiments::fig41_grid(&nodes, run),
+        },
+        Sweep {
+            figure: "fig46".into(),
+            grid: experiments::fig46_grid(&nodes, run),
+        },
+    ]);
+
     // Fig. 4.1: GEM locking, routing × update strategy.
     let mut fig41 = Chart::new(
         "Fig. 4.1 - GEM locking: routing x update strategy (buffer 200)",
         "nodes",
         "mean response time [ms]",
     );
-    for series in experiments::fig41(&nodes, run) {
+    for series in outcome.series_for("fig41").expect("fig41 was submitted") {
         fig41.add_series(
             &series.label,
             series
@@ -41,7 +58,7 @@ fn main() {
         "nodes",
         "TPS per node at 80% CPU",
     );
-    for series in experiments::fig46(&nodes, run) {
+    for series in outcome.series_for("fig46").expect("fig46 was submitted") {
         fig46.add_series(
             &series.label,
             series

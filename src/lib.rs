@@ -41,10 +41,12 @@
 //! | [`dbshare_lockmgr`] | 2PL tables, GEM GLT, PCL, deadlock detection |
 //! | [`dbshare_node`] | buffer manager, CPU cost model |
 //! | [`dbshare_sim`] | the engine, metrics, experiment presets |
+//! | [`dbshare_harness`] | parallel sweep orchestration, JSON run artifacts |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dbshare_harness as harness;
 pub use dbshare_lockmgr as lockmgr;
 pub use dbshare_model as model;
 pub use dbshare_node as node;
@@ -55,6 +57,7 @@ pub use desim;
 
 /// Convenient single import for examples and applications.
 pub mod prelude {
+    pub use dbshare_harness::{Harness, Job, JobResult, Outcome, Sweep};
     pub use dbshare_model::{
         CouplingMode, NodeId, PageId, PageRef, PartitionConfig, PartitionId, RoutingStrategy,
         StorageAllocation, SystemConfig, TxnId, TxnSpec, UpdateStrategy,

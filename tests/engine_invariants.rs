@@ -1,10 +1,10 @@
 //! Engine-level invariants: determinism, conservation, admission
 //! control, and abort/restart machinery.
 
-use dbshare::model::gla::{GlaMap, PartitionGla};
-use dbshare::prelude::*;
 use dbshare::desim::Rng;
+use dbshare::model::gla::{GlaMap, PartitionGla};
 use dbshare::model::{NodeId, PageId, PartitionId, TxnTypeId};
+use dbshare::prelude::*;
 use dbshare::workload::Workload;
 
 fn quick() -> RunLength {
@@ -158,7 +158,11 @@ fn deadlocks_are_detected_and_resolved() {
     // tiny hot set at higher rates convoy-collapse under strict 2PL —
     // queues feed on themselves — and then timeouts fire by design.)
     assert_eq!(r.timeout_aborts, 0, "timeouts mean detection failed");
-    assert!(r.throughput_tps > 9.0, "offered load sustained: {}", r.throughput_tps);
+    assert!(
+        r.throughput_tps > 9.0,
+        "offered load sustained: {}",
+        r.throughput_tps
+    );
 }
 
 #[test]
@@ -199,14 +203,26 @@ fn force_and_noforce_conserve_io_accounting() {
         ..DebitCreditRun::baseline(2, quick())
     });
     // 3 force-writes + 1 log write
-    assert!((3.8..4.2).contains(&force.writes_per_txn), "{}", force.writes_per_txn);
-    assert!(force.evict_writes_per_txn < 0.05, "{}", force.evict_writes_per_txn);
+    assert!(
+        (3.8..4.2).contains(&force.writes_per_txn),
+        "{}",
+        force.writes_per_txn
+    );
+    assert!(
+        force.evict_writes_per_txn < 0.05,
+        "{}",
+        force.evict_writes_per_txn
+    );
 
     let noforce = debit_credit_run(DebitCreditRun {
         update: UpdateStrategy::NoForce,
         ..DebitCreditRun::baseline(2, quick())
     });
-    assert!((0.9..1.1).contains(&noforce.writes_per_txn), "{}", noforce.writes_per_txn);
+    assert!(
+        (0.9..1.1).contains(&noforce.writes_per_txn),
+        "{}",
+        noforce.writes_per_txn
+    );
     // ACCOUNT pages (1/txn) must eventually be written back; B/T pages
     // are mostly re-dirtied in place and HISTORY pages written per 20
     // appends: expect a bit over 1 per transaction.
@@ -301,9 +317,17 @@ fn per_node_utilizations_are_reported_and_consistent() {
     let avg: f64 =
         r.cpu_utilization_per_node.iter().sum::<f64>() / r.cpu_utilization_per_node.len() as f64;
     assert!((avg - r.cpu_utilization).abs() < 1e-9);
-    let max = r.cpu_utilization_per_node.iter().cloned().fold(0.0, f64::max);
+    let max = r
+        .cpu_utilization_per_node
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
     assert!((max - r.cpu_utilization_max).abs() < 1e-9);
-    assert!(r.events_processed > r.measured_txns * 10, "{}", r.events_processed);
+    assert!(
+        r.events_processed > r.measured_txns * 10,
+        "{}",
+        r.events_processed
+    );
 }
 
 #[test]
@@ -320,9 +344,17 @@ fn scales_to_32_nodes() {
     });
     assert_eq!(r.measured_txns, 3_000);
     assert_eq!(r.cpu_utilization_per_node.len(), 32);
-    assert!((r.throughput_tps - 3_200.0).abs() < 160.0, "{}", r.throughput_tps);
+    assert!(
+        (r.throughput_tps - 3_200.0).abs() < 160.0,
+        "{}",
+        r.throughput_tps
+    );
     // (per-node utilizations fluctuate over this ~1-second window; the
     // point of this test is scale, not balance)
-    assert!((0.5..0.95).contains(&r.cpu_utilization), "{}", r.cpu_utilization);
+    assert!(
+        (0.5..0.95).contains(&r.cpu_utilization),
+        "{}",
+        r.cpu_utilization
+    );
     assert_eq!(r.timeout_aborts, 0);
 }

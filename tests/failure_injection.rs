@@ -54,7 +54,11 @@ fn survivors_absorb_the_load_during_downtime() {
         "crashed node {crashed} vs survivor {surviving}"
     );
     // total throughput is still delivered (open system, re-routing)
-    assert!((r.throughput_tps - 400.0).abs() < 20.0, "{}", r.throughput_tps);
+    assert!(
+        (r.throughput_tps - 400.0).abs() < 20.0,
+        "{}",
+        r.throughput_tps
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! configurations, the throughput-at-utilization search agrees with
 //! the extrapolated Fig. 4.6 metric, and replication intervals behave.
 
-use dbshare::prelude::*;
 use dbshare::prelude::experiments::{find_tps_at_cpu, replicate, Series};
+use dbshare::prelude::*;
 
 fn quick() -> RunLength {
     RunLength {

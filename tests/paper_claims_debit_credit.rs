@@ -25,7 +25,11 @@ fn central_case_matches_table_41_predictions() {
     // ~71% BRANCH/TELLER hit ratio, ≥62.5% CPU utilization, a 95%
     // HISTORY hit ratio, and no ACCOUNT rereference locality.
     let r = debit_credit_run(base(1));
-    assert!((0.64..0.78).contains(&bt_hits(&r)), "B/T hits {}", bt_hits(&r));
+    assert!(
+        (0.64..0.78).contains(&bt_hits(&r)),
+        "B/T hits {}",
+        bt_hits(&r)
+    );
     let hist = r.hit_ratio("HISTORY").expect("history");
     assert!((0.93..0.97).contains(&hist), "HISTORY hits {hist}");
     let acct = r.hit_ratio("ACCOUNT").expect("account");
@@ -36,7 +40,11 @@ fn central_case_matches_table_41_predictions() {
         r.cpu_utilization
     );
     // throughput matches the offered 100 TPS (open system, stable)
-    assert!((95.0..105.0).contains(&r.throughput_tps), "{}", r.throughput_tps);
+    assert!(
+        (95.0..105.0).contains(&r.throughput_tps),
+        "{}",
+        r.throughput_tps
+    );
     assert_eq!(r.deadlock_aborts, 0, "debit-credit cannot deadlock");
     assert_eq!(r.timeout_aborts, 0);
 }
@@ -56,7 +64,11 @@ fn random_routing_degrades_bt_hit_ratio_with_nodes() {
     });
     assert!(bt_hits(&r1) > 0.6, "central {}", bt_hits(&r1));
     assert!(bt_hits(&r5) < 0.25, "5 nodes {}", bt_hits(&r5));
-    assert!(r5.invalidations_per_txn > 0.01, "{}", r5.invalidations_per_txn);
+    assert!(
+        r5.invalidations_per_txn > 0.01,
+        "{}",
+        r5.invalidations_per_txn
+    );
 }
 
 #[test]
@@ -100,8 +112,16 @@ fn force_is_slower_than_noforce_on_disk() {
         noforce.mean_response_ms
     );
     // FORCE writes every modified page at commit (3 pages + log)
-    assert!((3.5..4.5).contains(&force.writes_per_txn), "{}", force.writes_per_txn);
-    assert!((0.9..1.1).contains(&noforce.writes_per_txn), "{}", noforce.writes_per_txn);
+    assert!(
+        (3.5..4.5).contains(&force.writes_per_txn),
+        "{}",
+        force.writes_per_txn
+    );
+    assert!(
+        (0.9..1.1).contains(&noforce.writes_per_txn),
+        "{}",
+        noforce.writes_per_txn
+    );
 }
 
 #[test]

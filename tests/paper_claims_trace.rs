@@ -145,7 +145,11 @@ fn update_activity_is_too_low_to_matter() {
     // §4.6: "Due to the low update frequency, buffer invalidations as
     // well as lock conflicts had no significant impact on performance."
     let r = run(4, CouplingMode::GemLocking, RoutingStrategy::Random);
-    assert!(r.invalidations_per_txn < 0.05, "{}", r.invalidations_per_txn);
+    assert!(
+        r.invalidations_per_txn < 0.05,
+        "{}",
+        r.invalidations_per_txn
+    );
     assert!(
         r.lock_wait_ms < r.norm_response_ms * 0.05,
         "lock wait {} vs response {}",

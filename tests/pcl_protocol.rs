@@ -3,10 +3,10 @@
 //! extra messages, §3.2) and the read-authorization lifecycle of the
 //! read optimization ([Ra86]).
 
-use dbshare::model::gla::GlaMap;
-use dbshare::prelude::*;
 use dbshare::desim::Rng;
+use dbshare::model::gla::GlaMap;
 use dbshare::model::{NodeId, PageId, PartitionId, TxnTypeId};
+use dbshare::prelude::*;
 use dbshare::workload::Workload;
 
 /// A two-node ping-pong workload: every transaction writes one page of
@@ -101,7 +101,11 @@ fn force_needs_no_page_transfers_at_all() {
     // short and misses read storage.
     let r = run_pingpong(UpdateStrategy::Force);
     assert_eq!(r.page_transfers_per_txn, 0.0, "no piggybacks under FORCE");
-    assert!(r.reads_per_txn > 0.3, "storage serves misses: {}", r.reads_per_txn);
+    assert!(
+        r.reads_per_txn > 0.3,
+        "storage serves misses: {}",
+        r.reads_per_txn
+    );
 }
 
 /// Read-heavy workload on a remote authority: node 1 reads a small hot

@@ -5,10 +5,10 @@
 //! synchronous GEM accesses, disk and log latencies, serial FORCE
 //! writes, and PCL message round trips.
 
-use dbshare::model::gla::{GlaMap, PartitionGla};
-use dbshare::prelude::*;
 use dbshare::desim::Rng;
+use dbshare::model::gla::{GlaMap, PartitionGla};
 use dbshare::model::{LogStorage, NodeId, PageId, PartitionId, TxnTypeId};
+use dbshare::prelude::*;
 use dbshare::workload::Workload;
 
 /// A fully scripted workload: every transaction performs the same
@@ -50,10 +50,7 @@ impl Workload for Scripted {
             .iter()
             .enumerate()
             .map(|(i, &(write, append))| {
-                let page = PageId::new(
-                    PartitionId::new(0),
-                    (self.cursor + i as u64) % self.window,
-                );
+                let page = PageId::new(PartitionId::new(0), (self.cursor + i as u64) % self.window);
                 if append {
                     PageRef::append(page)
                 } else if write {
