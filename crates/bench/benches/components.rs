@@ -8,8 +8,10 @@ use dbshare_bench::minibench::Bench;
 use dbshare_lockmgr::{GemLockTable, LockMode, LockTable};
 use dbshare_model::{PageId, PartitionId, TxnId};
 use desim::dist::{Alias, Zipf};
+use desim::fxhash::FxHashMap;
 use desim::lru::LruCache;
 use desim::{Calendar, MultiServer, Rng, SimDuration, SimTime};
+use std::collections::HashMap;
 use std::hint::black_box;
 
 fn page(n: u64) -> PageId {
@@ -87,19 +89,109 @@ fn lru(b: &Bench) {
 }
 
 fn calendar(b: &Bench) {
-    let mut cal = Calendar::new();
-    let mut rng = Rng::seed_from_u64(1);
-    let mut now = SimTime::ZERO;
-    // steady-state heap of ~1000 events
-    for _ in 0..1_000 {
-        cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), 0u32);
+    {
+        let mut cal = Calendar::new();
+        let mut rng = Rng::seed_from_u64(1);
+        let mut now = SimTime::ZERO;
+        // steady-state heap of ~1000 events
+        for _ in 0..1_000 {
+            cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), 0u32);
+        }
+        b.bench("calendar/schedule_pop", || {
+            let (t, e) = cal.pop().expect("non-empty");
+            now = t;
+            cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), e);
+            black_box(e);
+        });
     }
-    b.bench("calendar/schedule_pop", || {
-        let (t, e) = cal.pop().expect("non-empty");
-        now = t;
-        cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), e);
-        black_box(e);
-    });
+    {
+        // The engine's dominant pattern: a handler pops an event and
+        // schedules its continuation at the same instant (near lane),
+        // plus an occasional future event (heap).
+        let mut cal = Calendar::new();
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            cal.schedule(SimTime::from_nanos(1 + rng.below(1_000_000)), 0u32);
+        }
+        let mut n = 0u32;
+        b.bench("calendar/same_time_churn", || {
+            let (t, e) = cal.pop().expect("non-empty");
+            n = n.wrapping_add(1);
+            if n.is_multiple_of(4) {
+                cal.schedule(t + SimDuration::from_nanos(1 + rng.below(1_000_000)), e);
+            } else {
+                cal.schedule(t, e); // same-instant continuation
+            }
+            black_box(e);
+        });
+    }
+    {
+        // Sift cost with an engine-sized payload: the slab-indexed heap
+        // moves 32-byte (key, slot) pairs regardless of payload size.
+        #[derive(Clone, Copy)]
+        struct Fat([u64; 14]);
+        let mut cal = Calendar::new();
+        let mut rng = Rng::seed_from_u64(6);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1_000 {
+            cal.schedule(
+                now + SimDuration::from_nanos(rng.below(1_000_000)),
+                Fat([0; 14]),
+            );
+        }
+        b.bench("calendar/schedule_pop_fat_event", || {
+            let (t, e) = cal.pop().expect("non-empty");
+            now = t;
+            cal.schedule(now + SimDuration::from_nanos(rng.below(1_000_000)), e);
+            black_box(e.0[0]);
+        });
+    }
+}
+
+fn hashing(b: &Bench) {
+    // The per-event map operations of the engine: PageId- and
+    // TxnId-keyed lookups. FxHash vs the std SipHash default.
+    let pages: Vec<PageId> = (0..4_096).map(page).collect();
+    {
+        let mut fx: FxHashMap<PageId, u64> = FxHashMap::default();
+        for (i, &p) in pages.iter().enumerate() {
+            fx.insert(p, i as u64);
+        }
+        let mut i = 0usize;
+        b.bench("hashing/fx_page_lookup", || {
+            i = (i + 61) % pages.len();
+            black_box(fx.get(&pages[i]));
+        });
+    }
+    {
+        let mut std_map: HashMap<PageId, u64> = HashMap::new();
+        for (i, &p) in pages.iter().enumerate() {
+            std_map.insert(p, i as u64);
+        }
+        let mut i = 0usize;
+        b.bench("hashing/std_page_lookup", || {
+            i = (i + 61) % pages.len();
+            black_box(std_map.get(&pages[i]));
+        });
+    }
+    {
+        let mut fx: FxHashMap<TxnId, u64> = FxHashMap::default();
+        let mut i = 0u64;
+        b.bench("hashing/fx_txn_insert_remove", || {
+            i += 1;
+            fx.insert(TxnId::new(i), i);
+            black_box(fx.remove(&TxnId::new(i / 2)));
+        });
+    }
+    {
+        let mut std_map: HashMap<TxnId, u64> = HashMap::new();
+        let mut i = 0u64;
+        b.bench("hashing/std_txn_insert_remove", || {
+            i += 1;
+            std_map.insert(TxnId::new(i), i);
+            black_box(std_map.remove(&TxnId::new(i / 2)));
+        });
+    }
 }
 
 fn multiserver(b: &Bench) {
@@ -141,6 +233,7 @@ fn main() {
     gem_glt(&b);
     lru(&b);
     calendar(&b);
+    hashing(&b);
     multiserver(&b);
     distributions(&b);
 }

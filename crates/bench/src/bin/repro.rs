@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
-//!       [--csv DIR] [--svg DIR] [-v]
+//!       [--csv DIR] [--svg DIR] [--profile] [-v]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -17,11 +17,15 @@
 //! `BENCH_repro.json` (`--json PATH` to relocate). `--verbose`
 //! additionally prints the full per-run reports; `--csv DIR` writes
 //! every report field per figure; `--svg DIR` draws each figure.
+//! `--profile` prints the engine's always-on event-loop counters
+//! (per-event-type and per-subsystem, aggregated per figure and for
+//! the whole suite, with events/s of host wall-clock) to stderr —
+//! stdout stays byte-identical with or without the flag.
 
 use dbshare_bench::chart::Chart;
 use dbshare_harness::{write_artifact, Harness, Outcome, Sweep};
 use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
-use dbshare_sim::RunReport;
+use dbshare_sim::{RunProfile, RunReport};
 use std::path::Path;
 
 /// Which metric a figure plots.
@@ -260,6 +264,7 @@ fn main() {
     let mut nodes: Option<Vec<u16>> = None;
     let mut which: Vec<String> = Vec::new();
     let mut verbose = false;
+    let mut profile = false;
     let mut csv: Option<String> = None;
     let mut svg: Option<String> = None;
     let mut jobs: Option<usize> = None;
@@ -269,6 +274,7 @@ fn main() {
         match args[i].as_str() {
             "--quick" => run = RunLength::quick(),
             "--verbose" | "-v" => verbose = true,
+            "--profile" => profile = true,
             "--nodes" => {
                 i += 1;
                 nodes = Some(parse_nodes(arg_value(&args, i, "--nodes")));
@@ -294,7 +300,7 @@ fn main() {
                 svg = Some(arg_value(&args, i, "--svg").to_string());
             }
             other if other.starts_with('-') => fail(&format!(
-                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, -v)"
+                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, --profile, -v)"
             )),
             other => which.push(other.to_string()),
         }
@@ -367,6 +373,43 @@ fn main() {
         if verbose {
             print_details(series);
         }
+    }
+
+    if profile && !outcome.results.is_empty() {
+        // Stderr only: stdout must stay byte-identical with or without
+        // the flag (the repro tables are diffed against golden output).
+        let mut suite = RunProfile::default();
+        for fig in &wanted {
+            let mut agg = RunProfile::default();
+            let mut events = 0u64;
+            let mut wall = 0.0f64;
+            for res in outcome.results.iter().filter(|r| r.job.figure == fig.name) {
+                agg.merge(&res.report.profile);
+                events += res.report.events_processed;
+                wall += res.wall_secs;
+            }
+            suite.merge(&agg);
+            eprintln!(
+                "profile [{}]: {:.0} events/s over {:.2}s job wall",
+                fig.name,
+                events as f64 / wall.max(1e-9),
+                wall
+            );
+            eprintln!("{agg}");
+        }
+        let total_events: u64 = outcome
+            .results
+            .iter()
+            .map(|r| r.report.events_processed)
+            .sum();
+        eprintln!(
+            "profile [suite]: {:.0} events/s over {:.2}s pool wall ({} events, {} jobs)",
+            total_events as f64 / outcome.total_wall_secs.max(1e-9),
+            outcome.total_wall_secs,
+            total_events,
+            outcome.results.len()
+        );
+        eprintln!("{suite}");
     }
 
     if !outcome.results.is_empty() {

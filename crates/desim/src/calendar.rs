@@ -2,36 +2,53 @@
 
 use crate::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// An entry in the calendar: ordered by `(time, seq)` so that events
-/// scheduled earlier (in wall-clock order of `schedule` calls) at the
-/// same instant fire first. This FIFO tie-breaking is what makes runs
-/// deterministic regardless of heap internals.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// A heap entry of the calendar. The ordering key packs `(time, seq)`
+/// into one `u128` — time in the high 64 bits, insertion sequence in
+/// the low 64 — so the heap's sift operations perform a single integer
+/// comparison instead of two chained ones. The event payload itself
+/// lives in a side slab and only its slot index rides in the heap:
+/// sift operations then move 32-byte entries instead of the (much
+/// larger) event values, which is where an event-loop-bound simulation
+/// spends most of its memory traffic. Events scheduled earlier (in
+/// wall-clock order of `schedule` calls) at the same instant fire
+/// first; this FIFO tie-breaking is what makes runs deterministic
+/// regardless of heap internals.
+struct Entry {
+    /// `(time.as_nanos() << 64) | seq`.
+    key: u128,
+    /// Index of the event in the calendar's slab.
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Entry {
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.as_nanos() as u128) << 64) | seq as u128
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -39,6 +56,19 @@ impl<E> Ord for Entry<E> {
 ///
 /// Events of type `E` are scheduled at absolute [`SimTime`]s and popped
 /// in non-decreasing time order. Ties are broken by insertion order.
+///
+/// Internally the calendar is two-tier: events scheduled *at the
+/// current instant* — the dominant pattern on the engine's CPU-dispatch
+/// and protocol paths, where a handler schedules its continuation at
+/// `now` — go to a FIFO "near lane" (`VecDeque`, O(1) push/pop) and
+/// never touch the binary heap. Only events with a genuinely future
+/// timestamp pay the O(log n) heap insertion.
+///
+/// The FIFO tie-break contract is preserved exactly: a heap entry at
+/// time `t` was necessarily scheduled before the clock reached `t`,
+/// hence before any lane entry (which is created at `now == t`), and
+/// sequence numbers are globally monotonic — so draining the heap's
+/// `t`-entries before the lane reproduces insertion order.
 ///
 /// ```rust
 /// use desim::{Calendar, SimTime};
@@ -50,7 +80,16 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(cal.pop(), None);
 /// ```
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    /// Event payloads of heap entries; `Entry::slot` indexes here.
+    /// Slots are recycled through `free`, so the slab's size tracks the
+    /// peak number of pending events, not the total ever scheduled.
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
+    /// Events at `time == now`, in insertion order. Invariant: every
+    /// lane entry's timestamp equals `now`, and its seq is greater than
+    /// any heap entry's seq at that same timestamp.
+    lane: VecDeque<E>,
     next_seq: u64,
     now: SimTime,
     scheduled: u64,
@@ -67,6 +106,9 @@ impl<E> Calendar<E> {
     pub fn new() -> Self {
         Calendar {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            lane: VecDeque::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled: 0,
@@ -88,19 +130,49 @@ impl<E> Calendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            event,
-        });
+        if at == self.now && self.now != SimTime::ZERO {
+            // Same-instant continuation: O(1), bypasses the heap. Time
+            // zero is excluded so that pre-run setup (scheduled before
+            // the first pop, while `now` is still zero) orders through
+            // the heap like any other future event.
+            self.lane.push_back(event);
+        } else {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slab[s as usize] = Some(event);
+                    s
+                }
+                None => {
+                    self.slab.push(Some(event));
+                    (self.slab.len() - 1) as u32
+                }
+            };
+            self.heap.push(Entry {
+                key: pack(at, seq),
+                slot,
+            });
+        }
     }
 
     /// Removes and returns the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        // Heap entries at `now` predate every lane entry (smaller seq),
+        // so drain them first; the lane only fires once the heap's next
+        // event lies strictly in the future.
+        if let Some(top) = self.heap.peek() {
+            if self.lane.is_empty() || top.time() == self.now {
+                let entry = self.heap.pop()?;
+                let t = entry.time();
+                debug_assert!(t >= self.now);
+                self.now = t;
+                let event = self.slab[entry.slot as usize]
+                    .take()
+                    .expect("heap entry has a slab payload");
+                self.free.push(entry.slot);
+                return Some((t, event));
+            }
+        }
+        self.lane.pop_front().map(|e| (self.now, e))
     }
 
     /// The time of the most recently popped event (the current clock).
@@ -110,17 +182,22 @@ impl<E> Calendar<E> {
 
     /// The time of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if !self.lane.is_empty() {
+            // Lane entries are at `now`; nothing in the heap can be
+            // earlier.
+            return Some(self.now);
+        }
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty()
     }
 
     /// Total number of events ever scheduled (for diagnostics).
@@ -133,7 +210,8 @@ impl<E> std::fmt::Debug for Calendar<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Calendar")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
+            .field("near_lane", &self.lane.len())
             .field("total_scheduled", &self.scheduled)
             .finish()
     }
@@ -203,5 +281,66 @@ mod tests {
         cal.schedule(SimTime::from_micros(4), ());
         assert_eq!(cal.peek_time(), Some(SimTime::from_micros(4)));
         assert_eq!(cal.len(), 2);
+    }
+
+    /// The lane optimization must not reorder heap entries and lane
+    /// entries that share a timestamp: heap-resident events scheduled
+    /// *before* the clock reached `t` fire before same-time events
+    /// scheduled *at* `t`.
+    #[test]
+    fn lane_respects_fifo_against_heap() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_millis(3);
+        cal.schedule(SimTime::from_millis(1), "start");
+        cal.schedule(t, "heap-1"); // scheduled while now < t
+        cal.schedule(t, "heap-2");
+        assert_eq!(cal.pop().unwrap().1, "start");
+        assert_eq!(cal.pop().unwrap().1, "heap-1"); // clock is now t
+        cal.schedule(t, "lane-1"); // same-instant: near lane
+        cal.schedule(t, "lane-2");
+        assert_eq!(cal.peek_time(), Some(t));
+        // heap-2 (seq 2) precedes lane-1 (seq 3): insertion order holds.
+        assert_eq!(cal.pop().unwrap().1, "heap-2");
+        assert_eq!(cal.pop().unwrap().1, "lane-1");
+        assert_eq!(cal.pop().unwrap().1, "lane-2");
+        assert!(cal.pop().is_none());
+    }
+
+    /// Lane entries fire before any strictly-later heap entry.
+    #[test]
+    fn lane_fires_before_future_heap_events() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(1), "a");
+        cal.pop();
+        cal.schedule(SimTime::from_millis(9), "future");
+        cal.schedule(SimTime::from_millis(1), "lane");
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(cal.pop().unwrap(), (SimTime::from_millis(1), "lane"));
+        assert_eq!(cal.pop().unwrap(), (SimTime::from_millis(9), "future"));
+    }
+
+    /// A dense burst of same-instant events mixed with future ones —
+    /// the CPU-server churn pattern — keeps global FIFO order.
+    #[test]
+    fn same_time_churn_keeps_global_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(1), 0u32);
+        let mut popped = Vec::new();
+        let mut next = 1u32;
+        while let Some((t, e)) = cal.pop() {
+            popped.push(e);
+            if next < 40 {
+                // alternate same-instant and +1ms continuations
+                cal.schedule(t, next);
+                next += 1;
+                cal.schedule(t + crate::SimDuration::from_millis(1), next);
+                next += 1;
+            }
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(popped.len(), 41);
+        assert_eq!(sorted, (0..41).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,178 @@
+//! A fast, deterministic hasher for the simulation hot path.
+//!
+//! Every per-event lookup in the engine (transaction state, lock
+//! tables, buffer indexes) goes through a hash map. `std`'s default
+//! SipHash is DoS-resistant but costs ~10x more than needed for the
+//! small `Copy` keys used here (`PageId`, `TxnId`, `NodeId`). This
+//! module provides an FxHash-style multiply-xor hasher — the scheme
+//! used by the Rust compiler's internal tables — with zero
+//! dependencies.
+//!
+//! Two properties matter for the simulation:
+//!
+//! * **Speed**: one rotate + xor + multiply per 8-byte word.
+//! * **Determinism**: no per-process random seed (unlike
+//!   `RandomState`), so map *iteration order* is identical across
+//!   runs and platforms. The engine still never lets iteration order
+//!   reach output without sorting, but a deterministic hasher removes
+//!   an entire class of heisenbugs from diagnostics.
+//!
+//! ```rust
+//! use desim::fxhash::FxHashMap;
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: 2^64 / phi, the same odd constant rustc's
+/// FxHash uses. Multiplication by it diffuses low-entropy integer keys
+/// across the high bits, which the hash map's mask then folds back in.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A 64-bit multiply-xor hasher (FxHash). Not cryptographic, not
+/// DoS-resistant — strictly for trusted, internal keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the tail-padded byte stream. Small Copy
+        // keys hit the fixed-size `write_*` fast paths below instead.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s (no random
+/// state; `Default` is the only construction needed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Creates an [`FxHashMap`] pre-sized for `capacity` entries — the
+/// engine sizes its per-run maps from the configuration (MPL, buffer
+/// frames, partition counts) so the hot path never rehashes.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// Creates an [`FxHashSet`] pre-sized for `capacity` entries.
+pub fn set_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// Hashes one value with [`FxHasher`] (used by index structures that
+/// manage their own buckets, e.g. the LRU cache).
+#[inline]
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_one(&0xDEAD_BEEFu64);
+        let b = hash_one(&0xDEAD_BEEFu64);
+        assert_eq!(a, b);
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m = map_with_capacity::<u32, u32>(16);
+        for i in 0..100u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&40), Some(&80));
+        let mut s = set_with_capacity::<(u16, u64)>(4);
+        assert!(s.insert((3, 9)));
+        assert!(!s.insert((3, 9)));
+        assert!(s.contains(&(3, 9)));
+    }
+
+    #[test]
+    fn byte_stream_matches_itself_regardless_of_split() {
+        // Hashing is per-write, so one 16-byte write is *not* required
+        // to equal two 8-byte writes; what matters is that equal values
+        // hash equal. Verify via a composite key's Hash impl.
+        #[derive(Hash)]
+        struct K(u64, u16, [u8; 3]);
+        assert_eq!(hash_one(&K(1, 2, *b"abc")), hash_one(&K(1, 2, *b"abc")));
+        assert_ne!(hash_one(&K(1, 2, *b"abc")), hash_one(&K(1, 2, *b"abd")));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Dense sequential ids (TxnId::raw) must not collide in the low
+        // bits the map actually uses.
+        let mut low7 = std::collections::HashSet::new();
+        for i in 0..128u64 {
+            low7.insert(hash_one(&i) & 127);
+        }
+        assert!(low7.len() > 96, "only {} distinct low-7 values", low7.len());
+    }
+}

@@ -20,7 +20,9 @@
 //! * [`Rng`] and the distributions in [`dist`] — seeded, reproducible
 //!   random streams (exponential, uniform, discrete, Zipf),
 //! * [`stats`] — running statistics, time-weighted averages, histograms
-//!   with percentiles, and batch means for confidence intervals.
+//!   with percentiles, and batch means for confidence intervals,
+//! * [`fxhash`] — a fast deterministic hasher ([`fxhash::FxHashMap`] /
+//!   [`fxhash::FxHashSet`]) for the per-event state lookups.
 //!
 //! # Example
 //!
@@ -62,6 +64,7 @@ mod server;
 mod time;
 
 pub mod dist;
+pub mod fxhash;
 pub mod lru;
 pub mod stats;
 

@@ -40,6 +40,7 @@ pub fn artifact(
     created_unix: Option<u64>,
 ) -> Json {
     let records: Vec<Json> = results.iter().map(record).collect();
+    let total_events: u64 = results.iter().map(|r| r.report.events_processed).sum();
     Json::obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         (
@@ -52,6 +53,11 @@ pub fn artifact(
         ("workers", Json::Num(workers as f64)),
         ("jobs", Json::Num(results.len() as f64)),
         ("total_wall_secs", Json::Num(total_wall_secs)),
+        ("total_events", Json::Num(total_events as f64)),
+        (
+            "events_per_sec",
+            Json::Num(total_events as f64 / total_wall_secs.max(1e-9)),
+        ),
         ("records", Json::Arr(records)),
     ])
 }
@@ -74,6 +80,11 @@ fn record(result: &JobResult) -> Json {
             Json::Str(fingerprint(&result.job.spec)),
         ),
         ("wall_secs", Json::Num(result.wall_secs)),
+        ("events_processed", Json::Num(r.events_processed as f64)),
+        (
+            "events_per_sec",
+            Json::Num(r.events_processed as f64 / result.wall_secs.max(1e-9)),
+        ),
         ("sim_seconds", Json::Num(r.sim_seconds)),
         ("measured_txns", Json::Num(r.measured_txns as f64)),
         ("mean_response_ms", Json::Num(r.mean_response_ms)),

@@ -91,7 +91,11 @@ fn artifacts_from_different_worker_counts_agree_on_everything_but_timing() {
                         .filter(|(k, _)| {
                             !matches!(
                                 k.as_str(),
-                                "wall_secs" | "total_wall_secs" | "created_unix" | "workers"
+                                "wall_secs"
+                                    | "total_wall_secs"
+                                    | "created_unix"
+                                    | "workers"
+                                    | "events_per_sec"
                             )
                         })
                         .map(|(k, v)| (k.clone(), walk(v)))

@@ -13,7 +13,7 @@
 
 use crate::table::{LockMode, LockReply, LockTable};
 use dbshare_model::{NodeId, PageId, TxnId};
-use std::collections::HashMap;
+use desim::fxhash::{self, FxHashMap};
 
 /// Global-lock-table metadata of one page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,7 +53,7 @@ pub struct GemReply {
 #[derive(Debug, Default)]
 pub struct GemLockTable {
     table: LockTable,
-    meta: HashMap<PageId, PageInfo>,
+    meta: FxHashMap<PageId, PageInfo>,
 }
 
 impl GemLockTable {
@@ -61,6 +61,15 @@ impl GemLockTable {
     /// current).
     pub fn new() -> Self {
         GemLockTable::default()
+    }
+
+    /// Creates a table pre-sized for `pages` hot pages and `txns`
+    /// concurrently active transactions.
+    pub fn with_capacity(pages: usize, txns: usize) -> Self {
+        GemLockTable {
+            table: LockTable::with_capacity(pages, txns),
+            meta: fxhash::map_with_capacity(pages),
+        }
     }
 
     /// GEM entry accesses per lock or unlock operation: one read plus

@@ -20,7 +20,8 @@
 
 use crate::table::{LockMode, LockReply, LockTable};
 use dbshare_model::{NodeId, PageId, TxnId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use desim::fxhash::{self, FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
 
 /// Per-page state at the GLA node.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +52,7 @@ pub struct GlaOutcome {
 #[derive(Debug, Default)]
 pub struct GlaState {
     table: LockTable,
-    pages: HashMap<PageId, GlaPage>,
+    pages: FxHashMap<PageId, GlaPage>,
     local_requests: u64,
     remote_requests: u64,
 }
@@ -60,6 +61,17 @@ impl GlaState {
     /// Creates an empty authority state.
     pub fn new() -> Self {
         GlaState::default()
+    }
+
+    /// Creates an authority state pre-sized for `pages` hot pages and
+    /// `txns` concurrently active transactions.
+    pub fn with_capacity(pages: usize, txns: usize) -> Self {
+        GlaState {
+            table: LockTable::with_capacity(pages, txns),
+            pages: fxhash::map_with_capacity(pages),
+            local_requests: 0,
+            remote_requests: 0,
+        }
     }
 
     /// Processes a lock request at this GLA node.
@@ -194,14 +206,14 @@ pub enum RevokeAction {
 /// such locks.
 #[derive(Debug, Default)]
 pub struct RaTable {
-    entries: HashMap<PageId, RaEntry>,
+    entries: FxHashMap<PageId, RaEntry>,
     local_grants: u64,
 }
 
 #[derive(Debug, Default)]
 struct RaEntry {
     authorized: bool,
-    readers: HashSet<TxnId>,
+    readers: FxHashSet<TxnId>,
     revoke_pending: bool,
 }
 

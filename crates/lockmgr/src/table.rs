@@ -7,7 +7,8 @@
 //! tables for locally authorized read locks.
 
 use dbshare_model::{PageId, TxnId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use desim::fxhash::{self, FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 /// Lock mode: long read and write locks (strict 2PL, §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,8 +90,8 @@ impl LockState {
 /// ```
 #[derive(Debug, Default)]
 pub struct LockTable {
-    locks: HashMap<PageId, LockState>,
-    held: HashMap<TxnId, HashSet<PageId>>,
+    locks: FxHashMap<PageId, LockState>,
+    held: FxHashMap<TxnId, FxHashSet<PageId>>,
     grants: u64,
     conflicts: u64,
 }
@@ -99,6 +100,18 @@ impl LockTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         LockTable::default()
+    }
+
+    /// Creates a table pre-sized for `pages` concurrently locked pages
+    /// and `txns` concurrently active transactions (so the per-event
+    /// hot path never rehashes).
+    pub fn with_capacity(pages: usize, txns: usize) -> Self {
+        LockTable {
+            locks: fxhash::map_with_capacity(pages),
+            held: fxhash::map_with_capacity(txns),
+            grants: 0,
+            conflicts: 0,
+        }
     }
 
     /// Requests a lock on `page` in `mode` for `txn`.

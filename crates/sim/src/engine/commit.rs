@@ -6,8 +6,8 @@ use super::txn::CommitWrite;
 use super::{Cont, Engine, Job, Msg, MsgBody, Phase};
 use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, UpdateStrategy};
+use desim::fxhash::FxHashMap;
 use desim::SimTime;
-use std::collections::HashMap;
 
 impl Engine {
     /// Last access done: run the end-of-transaction CPU slice.
@@ -242,7 +242,7 @@ impl Engine {
         let held_ra = t.held_ra.clone();
 
         // Group remote authorities and their released pages.
-        let mut remote: HashMap<NodeId, Vec<(PageId, bool)>> = HashMap::new();
+        let mut remote: FxHashMap<NodeId, Vec<(PageId, bool)>> = FxHashMap::default();
         for &(g, p, _) in &held_gla {
             if g != node {
                 remote

@@ -175,12 +175,12 @@ impl Engine {
             .txns
             .iter()
             .filter(|(_, t)| t.phase == Phase::LockWait && now - t.wait_since > LOCK_TIMEOUT)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| id)
             .collect();
         stuck.sort_unstable();
         for id in stuck {
             if std::env::var_os("DBSHARE_DEBUG_TIMEOUTS").is_some() {
-                let t = &self.txns[&id];
+                let t = self.txn(id);
                 let page = t.waiting_page;
                 let holders = page
                     .map(|p| match self.cfg.coupling {
@@ -295,18 +295,30 @@ impl Engine {
     /// waiters the holders of the page they wait for (env
     /// `DBSHARE_DEBUG_STUCK`).
     pub(crate) fn dump_stuck(&self, now: SimTime) {
-        let mut by_phase: std::collections::HashMap<&'static str, usize> = Default::default();
+        // Phase counts in a fixed order so the dump is reproducible
+        // (a map printed in iteration order is not).
+        const PHASES: [(&str, Phase); 5] = [
+            ("input", Phase::InputQueue),
+            ("running", Phase::Running),
+            ("lockwait", Phase::LockWait),
+            ("pagewait", Phase::PageWait),
+            ("commitio", Phase::CommitIo),
+        ];
+        let mut counts = [0usize; PHASES.len()];
         for t in self.txns.values() {
-            let label = match t.phase {
-                Phase::InputQueue => "input",
-                Phase::Running => "running",
-                Phase::LockWait => "lockwait",
-                Phase::PageWait => "pagewait",
-                Phase::CommitIo => "commitio",
-            };
-            *by_phase.entry(label).or_default() += 1;
+            counts[PHASES.iter().position(|&(_, p)| p == t.phase).unwrap()] += 1;
         }
-        eprintln!("STUCK phases: {by_phase:?} live={}", self.txns.len());
+        let summary: Vec<String> = PHASES
+            .iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(&(label, _), c)| format!("{label}: {c}"))
+            .collect();
+        eprintln!(
+            "STUCK phases: {{{}}} live={}",
+            summary.join(", "),
+            self.txns.len()
+        );
         for (i, ctx) in self.nodes.iter().enumerate() {
             eprintln!(
                 "  NODE {i}: cpus in_use={} queue={} mpl in_use={} queue={}",
@@ -618,6 +630,7 @@ impl Engine {
             crash_aborts: c.crash_aborts,
             global_log_records,
             events_processed: self.cal.total_scheduled(),
+            profile: self.profile.clone(),
             tps_per_node_at_80pct_cpu: if cpu_avg > 1e-9 {
                 self.cfg.arrival_tps_per_node * 0.8 / cpu_avg
             } else {

@@ -7,11 +7,13 @@ mod events;
 mod maintenance;
 mod messages;
 mod txn;
+mod txntable;
 
 pub(crate) use events::{Cont, Event, Job, Msg, MsgBody};
 pub(crate) use txn::{Phase, Txn};
+pub(crate) use txntable::TxnTable;
 
-use crate::metrics::{Counters, Metrics, RunReport};
+use crate::metrics::{Counters, Metrics, RunProfile, RunReport};
 use dbshare_lockmgr::pcl::{GlaState, RaTable};
 use dbshare_lockmgr::{GemLockTable, LockMode};
 use dbshare_model::config::ConfigError;
@@ -21,8 +23,8 @@ use dbshare_node::{BufferManager, CostModel};
 use dbshare_storage::globallog::LocalLog;
 use dbshare_storage::StorageSubsystem;
 use dbshare_workload::Workload;
+use desim::fxhash::{self, FxHashMap};
 use desim::{Calendar, Resource, Rng, SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Interval between deadlock / timeout scans.
 pub(crate) const DEADLOCK_SCAN_EVERY: SimDuration = SimDuration::from_millis(250);
@@ -41,7 +43,7 @@ pub(crate) struct NodeCtx {
     pub cost: CostModel,
     pub rng: Rng,
     /// Deferred revocation acknowledgements: page → (GLA node, writer).
-    pub pending_acks: HashMap<PageId, (NodeId, TxnId)>,
+    pub pending_acks: FxHashMap<PageId, (NodeId, TxnId)>,
 }
 
 /// A remote lock request context kept at the GLA side until the grant
@@ -76,15 +78,17 @@ pub struct Engine {
     pub(crate) glt: GemLockTable,
     pub(crate) gla: Vec<GlaState>,
     pub(crate) gla_map: GlaMap,
-    pub(crate) txns: HashMap<TxnId, Txn>,
+    pub(crate) txns: TxnTable,
     pub(crate) next_txn: u64,
-    pub(crate) remote_ctx: HashMap<TxnId, ReqCtx>,
-    pub(crate) pending_writes: HashMap<TxnId, PendingWrite>,
+    pub(crate) remote_ctx: FxHashMap<TxnId, ReqCtx>,
+    pub(crate) pending_writes: FxHashMap<TxnId, PendingWrite>,
     pub(crate) counters: Counters,
     pub(crate) base: Counters,
     pub(crate) base_gla: Vec<(u64, u64)>,
     pub(crate) base_ra: Vec<u64>,
     pub(crate) metrics: Metrics,
+    /// Always-on event-loop profile (whole run, incl. warm-up).
+    pub(crate) profile: RunProfile,
     pub(crate) arrival_rng: Rng,
     pub(crate) wl_rng: Rng,
     pub(crate) restart_rng: Rng,
@@ -116,6 +120,12 @@ impl Engine {
         cfg.validate()?;
         let master = Rng::seed_from_u64(cfg.run.seed);
         let storage = StorageSubsystem::new(&cfg);
+        // Hot maps are pre-sized from the configuration so the steady
+        // state never rehashes: the MPL bounds live transactions, the
+        // buffer capacity bounds hot page-table entries.
+        let live = cfg.mpl_per_node as usize * cfg.nodes as usize;
+        let admissions = (cfg.run.warmup_txns + cfg.run.measured_txns) as usize + live;
+        let hot_pages = cfg.buffer_pages_per_node as usize * 2;
         let nodes = (0..cfg.nodes)
             .map(|i| NodeCtx {
                 cpus: Resource::new(cfg.cpu.cpus_per_node),
@@ -124,10 +134,12 @@ impl Engine {
                 ra: RaTable::new(),
                 cost: CostModel::new(cfg.cpu.clone()),
                 rng: master.derive(100 + i as u64),
-                pending_acks: HashMap::new(),
+                pending_acks: fxhash::map_with_capacity(16),
             })
             .collect();
-        let gla = (0..cfg.nodes).map(|_| GlaState::new()).collect();
+        let gla = (0..cfg.nodes)
+            .map(|_| GlaState::with_capacity(hot_pages, live))
+            .collect();
         let gla_map = workload.gla_map();
         let part_locking = cfg.partitions.iter().map(|p| p.locking).collect();
         let part_names = cfg.partitions.iter().map(|p| p.name.clone()).collect();
@@ -137,18 +149,19 @@ impl Engine {
             workload,
             storage,
             nodes,
-            glt: GemLockTable::new(),
+            glt: GemLockTable::with_capacity(hot_pages * cfg.nodes as usize, live),
             gla,
             gla_map,
-            txns: HashMap::new(),
+            txns: TxnTable::with_capacity(live, admissions),
             next_txn: 0,
-            remote_ctx: HashMap::new(),
-            pending_writes: HashMap::new(),
+            remote_ctx: fxhash::map_with_capacity(live),
+            pending_writes: fxhash::map_with_capacity(live),
             counters: Counters::default(),
             base: Counters::default(),
             base_gla: vec![(0, 0); cfg.nodes as usize],
             base_ra: vec![0; cfg.nodes as usize],
             metrics: Metrics::default(),
+            profile: RunProfile::default(),
             arrival_rng: master.derive(1),
             wl_rng: master.derive(2),
             restart_rng: master.derive(3),
@@ -210,6 +223,16 @@ impl Engine {
     }
 
     fn on_event(&mut self, now: SimTime, ev: Event) {
+        match &ev {
+            Event::Arrival => self.profile.arrivals += 1,
+            Event::Restart { .. } => self.profile.restarts += 1,
+            Event::CpuDone { .. } => self.profile.cpu_done += 1,
+            Event::GemHeldDone { .. } => self.profile.gem_held_done += 1,
+            Event::IoDone { .. } => self.profile.io_done += 1,
+            Event::Delivered { .. } => self.profile.delivered += 1,
+            Event::DeadlockScan => self.profile.deadlock_scans += 1,
+            Event::NodeCrash { .. } | Event::NodeRecovered { .. } => self.profile.crash_events += 1,
+        }
         match ev {
             Event::Arrival => {
                 let gap =
@@ -312,6 +335,20 @@ impl Engine {
     /// The continuation dispatcher: transfers control to the
     /// appropriate protocol/lifecycle step.
     pub(crate) fn fire(&mut self, now: SimTime, cont: Cont) {
+        match &cont {
+            Cont::BotDone(_) | Cont::AccessCpuDone(_) | Cont::CommitInit(_) => {
+                self.profile.cont_lifecycle += 1
+            }
+            Cont::GemLockExec(_)
+            | Cont::GemGrantExec(_)
+            | Cont::GemReleaseExec(_)
+            | Cont::PclLocalLockExec(_)
+            | Cont::PclLocalGrantExec { .. }
+            | Cont::PclRaLocalExec(_)
+            | Cont::PclReleaseExec(_) => self.profile.cont_locking += 1,
+            Cont::SendDone { .. } | Cont::RecvDone { .. } => self.profile.cont_messaging += 1,
+            _ => self.profile.cont_storage += 1,
+        }
         match cont {
             Cont::BotDone(t) => self.begin_access(now, t),
             Cont::AccessCpuDone(t) => self.after_access_cpu(now, t),

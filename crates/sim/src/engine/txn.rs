@@ -2,8 +2,8 @@
 
 use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, TxnSpec};
+use desim::fxhash::FxHashMap;
 use desim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Where a transaction currently is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +54,7 @@ pub(crate) struct Txn {
     pub held_ra: Vec<PageId>,
     /// Page version numbers learned at lock time (used to predict the
     /// post-commit version for remote authorities).
-    pub page_seqnos: HashMap<PageId, u64>,
+    pub page_seqnos: FxHashMap<PageId, u64>,
     /// Pages modified (ordered, deduplicated).
     pub modified: Vec<PageId>,
     /// Commit phase 1 write list (performed as a sequential chain).
@@ -90,7 +90,7 @@ impl Txn {
             held_gem: Vec::new(),
             held_gla: Vec::new(),
             held_ra: Vec::new(),
-            page_seqnos: HashMap::new(),
+            page_seqnos: FxHashMap::default(),
             modified: Vec::new(),
             commit_writes: Vec::new(),
             waiting_page: None,

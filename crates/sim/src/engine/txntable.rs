@@ -1,0 +1,175 @@
+//! Slab storage for live transactions.
+//!
+//! `TxnId`s are allocated densely (a monotonically increasing counter,
+//! never reused — deadlock victim selection depends on that ordering),
+//! so the per-event transaction lookup does not need a hash map at
+//! all: a flat `index` vector maps `TxnId::raw()` to a slot in a slab
+//! of `Option<Txn>`, making `get`/`get_mut` two array indexes. Slots
+//! are recycled through a free list; the index grows by 4 bytes per
+//! transaction ever admitted (a few hundred kilobytes for the longest
+//! paper runs).
+//!
+//! The API mirrors the `HashMap<TxnId, Txn>` it replaced, so call
+//! sites read identically. Iteration is in slot order — deterministic
+//! (unlike the randomly seeded `std` map it replaced), but *not* id
+//! order; callers that feed iteration into output sort first, exactly
+//! as they had to before.
+
+use super::Txn;
+use dbshare_model::TxnId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+pub(crate) struct TxnTable {
+    slots: Vec<Option<Txn>>,
+    free: Vec<u32>,
+    /// `TxnId::raw() → slot`, `NIL` once completed/aborted.
+    index: Vec<u32>,
+    live: usize,
+}
+
+impl TxnTable {
+    /// Creates a table pre-sized for `live` concurrently active
+    /// transactions (the MPL bound) and `total` admissions overall.
+    pub fn with_capacity(live: usize, total: usize) -> Self {
+        TxnTable {
+            slots: Vec::with_capacity(live),
+            free: Vec::new(),
+            index: Vec::with_capacity(total),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, id: TxnId) -> Option<usize> {
+        match self.index.get(id.raw() as usize) {
+            Some(&s) if s != NIL => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Registers a new transaction. `id` must be fresh (higher than
+    /// every id ever inserted) — guaranteed by the engine's monotonic
+    /// id allocation.
+    pub fn insert(&mut self, id: TxnId, txn: Txn) {
+        let raw = id.raw() as usize;
+        debug_assert!(
+            raw >= self.index.len(),
+            "TxnId {raw} reused — ids must be fresh"
+        );
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, NIL);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(txn);
+                s
+            }
+            None => {
+                self.slots.push(Some(txn));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index[raw] = slot;
+        self.live += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, id: &TxnId) -> Option<&Txn> {
+        self.slots[self.slot_of(*id)?].as_ref()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: &TxnId) -> Option<&mut Txn> {
+        let s = self.slot_of(*id)?;
+        self.slots[s].as_mut()
+    }
+
+    #[inline]
+    pub fn contains_key(&self, id: &TxnId) -> bool {
+        self.slot_of(*id).is_some()
+    }
+
+    pub fn remove(&mut self, id: &TxnId) -> Option<Txn> {
+        let s = self.slot_of(*id)?;
+        self.index[id.raw() as usize] = NIL;
+        self.free.push(s as u32);
+        self.live -= 1;
+        self.slots[s].take()
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live transactions in slot order (deterministic; not id order).
+    pub fn values(&self) -> impl Iterator<Item = &Txn> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// `(id, txn)` pairs in slot order (deterministic; not id order).
+    pub fn iter(&self) -> impl Iterator<Item = (TxnId, &Txn)> {
+        self.values().map(|t| (t.id, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_model::{NodeId, TxnSpec, TxnTypeId};
+    use desim::SimTime;
+
+    fn mk(id: u64) -> Txn {
+        Txn::new(
+            TxnId::new(id),
+            NodeId::new(0),
+            TxnSpec::new(TxnTypeId::new(0), 0, Vec::new()),
+            SimTime::ZERO,
+            0,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = TxnTable::with_capacity(4, 16);
+        t.insert(TxnId::new(0), mk(0));
+        t.insert(TxnId::new(1), mk(1));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains_key(&TxnId::new(0)));
+        assert_eq!(t.get(&TxnId::new(1)).unwrap().id, TxnId::new(1));
+        assert!(t.get(&TxnId::new(7)).is_none());
+        let gone = t.remove(&TxnId::new(0)).unwrap();
+        assert_eq!(gone.id, TxnId::new(0));
+        assert!(t.remove(&TxnId::new(0)).is_none());
+        assert!(!t.contains_key(&TxnId::new(0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn slots_recycle_but_ids_do_not() {
+        let mut t = TxnTable::with_capacity(2, 64);
+        for id in 0..50u64 {
+            t.insert(TxnId::new(id), mk(id));
+            if id >= 2 {
+                t.remove(&TxnId::new(id - 2));
+            }
+        }
+        assert_eq!(t.len(), 2);
+        // slab stayed at the live bound, index covers every id ever used
+        assert!(t.slots.len() <= 3, "slab grew to {}", t.slots.len());
+        assert_eq!(t.index.len(), 50);
+        let mut ids: Vec<u64> = t.iter().map(|(id, _)| id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![48, 49]);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t = TxnTable::with_capacity(1, 1);
+        t.insert(TxnId::new(0), mk(0));
+        t.get_mut(&TxnId::new(0)).unwrap().step = 7;
+        assert_eq!(t.get(&TxnId::new(0)).unwrap().step, 7);
+    }
+}

@@ -36,4 +36,4 @@ mod metrics;
 pub mod experiments;
 
 pub use engine::Engine;
-pub use metrics::RunReport;
+pub use metrics::{RunProfile, RunReport};

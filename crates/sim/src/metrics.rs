@@ -145,6 +145,95 @@ impl Counters {
     }
 }
 
+/// Always-on event-loop profile: how many calendar events of each kind
+/// the run processed and which subsystems their continuations
+/// dispatched into. Counts cover the whole run (including warm-up) and
+/// mirror the deterministic event stream, so two runs of the same
+/// configuration produce identical profiles; wall-clock-derived rates
+/// (events per second) live in the harness artifacts, not here.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunProfile {
+    /// `Arrival` events (open-system source admissions).
+    pub arrivals: u64,
+    /// `Restart` events (re-admissions after deadlock/crash aborts).
+    pub restarts: u64,
+    /// `CpuDone` events (CPU bursts finished).
+    pub cpu_done: u64,
+    /// `GemHeldDone` events (synchronous GEM tails holding the CPU).
+    pub gem_held_done: u64,
+    /// `IoDone` events (storage, log, and transfer completions).
+    pub io_done: u64,
+    /// `Delivered` events (network message deliveries).
+    pub delivered: u64,
+    /// Periodic deadlock/timeout scan ticks.
+    pub deadlock_scans: u64,
+    /// `NodeCrash` + `NodeRecovered` failure-injection events.
+    pub crash_events: u64,
+    /// Continuations dispatched into the transaction lifecycle
+    /// (BOT, object access, commit initiation).
+    pub cont_lifecycle: u64,
+    /// Continuations dispatched into the lock protocols (GEM + PCL).
+    pub cont_locking: u64,
+    /// Continuations dispatched into messaging (send/receive handlers).
+    pub cont_messaging: u64,
+    /// Continuations dispatched into storage, buffer, and transfer I/O.
+    pub cont_storage: u64,
+}
+
+impl RunProfile {
+    /// Accumulates `other` into `self` (used to aggregate the profiles
+    /// of many runs into one figure- or suite-level summary).
+    pub fn merge(&mut self, other: &RunProfile) {
+        self.arrivals += other.arrivals;
+        self.restarts += other.restarts;
+        self.cpu_done += other.cpu_done;
+        self.gem_held_done += other.gem_held_done;
+        self.io_done += other.io_done;
+        self.delivered += other.delivered;
+        self.deadlock_scans += other.deadlock_scans;
+        self.crash_events += other.crash_events;
+        self.cont_lifecycle += other.cont_lifecycle;
+        self.cont_locking += other.cont_locking;
+        self.cont_messaging += other.cont_messaging;
+        self.cont_storage += other.cont_storage;
+    }
+
+    /// Total calendar events processed (sum of the per-type counts).
+    pub fn events_total(&self) -> u64 {
+        self.arrivals
+            + self.restarts
+            + self.cpu_done
+            + self.gem_held_done
+            + self.io_done
+            + self.delivered
+            + self.deadlock_scans
+            + self.crash_events
+    }
+}
+
+impl fmt::Display for RunProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  events: {} (arrival {} restart {} cpu {} gem-held {} io {} msg {} scan {} crash {})",
+            self.events_total(),
+            self.arrivals,
+            self.restarts,
+            self.cpu_done,
+            self.gem_held_done,
+            self.io_done,
+            self.delivered,
+            self.deadlock_scans,
+            self.crash_events,
+        )?;
+        write!(
+            f,
+            "  conts: lifecycle {} locking {} messaging {} storage {}",
+            self.cont_lifecycle, self.cont_locking, self.cont_messaging, self.cont_storage,
+        )
+    }
+}
+
 /// Everything a simulation run reports. Field units are embedded in the
 /// names; "per_txn" denominators are measured commits.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,6 +342,9 @@ pub struct RunReport {
     /// Calendar events processed over the whole run (simulator-
     /// performance figure; pairs with the criterion benches).
     pub events_processed: u64,
+    /// Per-event-type and per-subsystem event-loop counters (always
+    /// collected; surfaced by `repro --profile`).
+    pub profile: RunProfile,
     /// Throughput per node that would drive average CPU utilization to
     /// 80% (the Fig. 4.6 metric), extrapolated from the measured
     /// utilization-per-TPS ratio.
@@ -380,6 +472,7 @@ mod tests {
             crash_aborts: 0,
             global_log_records: 100,
             events_processed: 5_000,
+            profile: RunProfile::default(),
             tps_per_node_at_80pct_cpu: 128.0,
         }
     }
