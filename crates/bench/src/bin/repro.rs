@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
-//!       [--csv DIR] [--svg DIR] [--profile] [-v]
+//!       [--csv DIR] [--svg DIR] [--profile] [--alloc-stats]
+//!       [--compare OLD.json] [-v]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -21,12 +22,26 @@
 //! (per-event-type and per-subsystem, aggregated per figure and for
 //! the whole suite, with events/s of host wall-clock) to stderr —
 //! stdout stays byte-identical with or without the flag.
+//!
+//! The binary installs a counting global allocator (a thread-local
+//! increment per allocation), so every artifact records per-job
+//! `host_allocs` / `allocs_per_event`. `--alloc-stats` additionally
+//! prints the per-figure and suite allocs/event to stderr, and
+//! `--compare OLD.json` prints a per-figure delta table (wall seconds,
+//! events/s, allocs/event) between this run and a saved artifact.
 
 use dbshare_bench::chart::Chart;
-use dbshare_harness::{write_artifact, Harness, Outcome, Sweep};
+use dbshare_harness::{write_artifact, CountingAlloc, Harness, Json, Outcome, Sweep};
 use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
 use dbshare_sim::{RunProfile, RunReport};
 use std::path::Path;
+
+/// Count every heap allocation the reproduction performs, so
+/// `--alloc-stats` can report per-job allocator traffic and the
+/// artifact can pin allocs/event. Counting is a thread-local increment
+/// per `alloc`/`realloc` — cheap enough to leave always on.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Which metric a figure plots.
 #[derive(Clone, Copy)]
@@ -250,6 +265,132 @@ fn write_csv(dir: &str, name: &str, series: &[Series]) {
     println!("wrote {path}");
 }
 
+/// Per-figure aggregate of the numbers `--alloc-stats` and `--compare`
+/// work with.
+#[derive(Default, Clone, Copy)]
+struct FigureAgg {
+    wall_secs: f64,
+    events: u64,
+    allocs: u64,
+}
+
+impl FigureAgg {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / (self.events.max(1)) as f64
+    }
+}
+
+/// Aggregates the current run per figure (preserving `figures` order)
+/// plus a trailing `"suite"` total.
+fn aggregate_outcome(outcome: &Outcome, figures: &[&Figure]) -> Vec<(String, FigureAgg)> {
+    let mut rows: Vec<(String, FigureAgg)> = Vec::new();
+    let mut suite = FigureAgg::default();
+    for fig in figures {
+        let mut agg = FigureAgg::default();
+        for res in outcome.results.iter().filter(|r| r.job.figure == fig.name) {
+            agg.wall_secs += res.wall_secs;
+            agg.events += res.report.events_processed;
+            agg.allocs += res.report.profile.host_allocs;
+        }
+        suite.wall_secs += agg.wall_secs;
+        suite.events += agg.events;
+        suite.allocs += agg.allocs;
+        rows.push((fig.name.to_string(), agg));
+    }
+    rows.push(("suite".to_string(), suite));
+    rows
+}
+
+/// Reads a saved `BENCH_repro.json` into the same per-figure shape.
+/// Artifacts predating the allocation counters read as zero allocs.
+fn load_artifact_aggregates(path: &str) -> Vec<(String, FigureAgg)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not a valid artifact: {e:?}")));
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{path} has no records array")));
+    let mut rows: Vec<(String, FigureAgg)> = Vec::new();
+    let mut suite = FigureAgg::default();
+    for rec in records {
+        let figure = rec
+            .get("figure")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let num = |key: &str| rec.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let agg = match rows.iter_mut().find(|(name, _)| *name == figure) {
+            Some((_, agg)) => agg,
+            None => {
+                rows.push((figure, FigureAgg::default()));
+                &mut rows.last_mut().expect("just pushed").1
+            }
+        };
+        agg.wall_secs += num("wall_secs");
+        agg.events += num("events_processed") as u64;
+        agg.allocs += num("host_allocs") as u64;
+        suite.wall_secs += num("wall_secs");
+        suite.events += num("events_processed") as u64;
+        suite.allocs += num("host_allocs") as u64;
+    }
+    rows.push(("suite".to_string(), suite));
+    rows
+}
+
+/// Prints the `--compare` delta table: old vs new wall-clock, event
+/// rate, and allocs/event for every figure both runs contain.
+fn print_compare(old_path: &str, old: &[(String, FigureAgg)], new: &[(String, FigureAgg)]) {
+    eprintln!("\n=== comparison vs {old_path} ===");
+    eprintln!(
+        "{:<12}{:>10}{:>10}{:>8}  {:>11}{:>11}{:>8}  {:>10}{:>10}{:>8}",
+        "figure",
+        "wall_old",
+        "wall_new",
+        "x",
+        "ev/s_old",
+        "ev/s_new",
+        "x",
+        "al/ev_old",
+        "al/ev_new",
+        "x"
+    );
+    for (name, cur) in new {
+        let Some((_, prev)) = old.iter().find(|(n, _)| n == name) else {
+            eprintln!("{name:<12}(not in old artifact)");
+            continue;
+        };
+        let ratio = |old_v: f64, new_v: f64| {
+            if new_v.abs() < 1e-12 {
+                f64::NAN
+            } else {
+                old_v / new_v
+            }
+        };
+        eprintln!(
+            "{:<12}{:>9.2}s{:>9.2}s{:>7.2}x  {:>11.0}{:>11.0}{:>7.2}x  {:>10.4}{:>10.4}{:>7.2}x",
+            name,
+            prev.wall_secs,
+            cur.wall_secs,
+            ratio(prev.wall_secs, cur.wall_secs),
+            prev.events_per_sec(),
+            cur.events_per_sec(),
+            ratio(cur.events_per_sec(), prev.events_per_sec()),
+            prev.allocs_per_event(),
+            cur.allocs_per_event(),
+            ratio(prev.allocs_per_event(), cur.allocs_per_event()),
+        );
+    }
+    eprintln!(
+        "(x columns: wall and allocs/event are old/new — higher is better; \
+         ev/s is new/old — higher is better)"
+    );
+}
+
 fn print_details(series: &[Series]) {
     for s in series {
         for (n, r) in &s.points {
@@ -265,6 +406,8 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut verbose = false;
     let mut profile = false;
+    let mut alloc_stats = false;
+    let mut compare: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut svg: Option<String> = None;
     let mut jobs: Option<usize> = None;
@@ -275,6 +418,11 @@ fn main() {
             "--quick" => run = RunLength::quick(),
             "--verbose" | "-v" => verbose = true,
             "--profile" => profile = true,
+            "--alloc-stats" => alloc_stats = true,
+            "--compare" => {
+                i += 1;
+                compare = Some(arg_value(&args, i, "--compare").to_string());
+            }
             "--nodes" => {
                 i += 1;
                 nodes = Some(parse_nodes(arg_value(&args, i, "--nodes")));
@@ -300,7 +448,8 @@ fn main() {
                 svg = Some(arg_value(&args, i, "--svg").to_string());
             }
             other if other.starts_with('-') => fail(&format!(
-                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, --profile, -v)"
+                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, \
+                 --profile, --alloc-stats, --compare, -v)"
             )),
             other => which.push(other.to_string()),
         }
@@ -410,6 +559,28 @@ fn main() {
             outcome.results.len()
         );
         eprintln!("{suite}");
+    }
+
+    if alloc_stats && !outcome.results.is_empty() {
+        // Stderr for the same reason as --profile: stdout stays
+        // byte-identical with or without the flag.
+        for (name, agg) in aggregate_outcome(&outcome, &wanted) {
+            eprintln!(
+                "alloc [{name}]: {:.4} allocs/event ({} allocs, {} events, {:.2}s job wall)",
+                agg.allocs_per_event(),
+                agg.allocs,
+                agg.events,
+                agg.wall_secs
+            );
+        }
+    }
+
+    if let Some(old_path) = &compare {
+        if !outcome.results.is_empty() {
+            let old = load_artifact_aggregates(old_path);
+            let new = aggregate_outcome(&outcome, &wanted);
+            print_compare(old_path, &old, &new);
+        }
     }
 
     if !outcome.results.is_empty() {

@@ -22,7 +22,9 @@
 //! * [`stats`] — running statistics, time-weighted averages, histograms
 //!   with percentiles, and batch means for confidence intervals,
 //! * [`fxhash`] — a fast deterministic hasher ([`fxhash::FxHashMap`] /
-//!   [`fxhash::FxHashSet`]) for the per-event state lookups.
+//!   [`fxhash::FxHashSet`]) for the per-event state lookups,
+//! * [`InlineVec`] — an inline small-vector for per-event element
+//!   lists, so steady state never touches the global allocator.
 //!
 //! # Example
 //!
@@ -66,9 +68,11 @@ mod time;
 pub mod dist;
 pub mod fxhash;
 pub mod lru;
+pub mod smallvec;
 pub mod stats;
 
 pub use calendar::Calendar;
 pub use rng::Rng;
 pub use server::{MultiServer, Resource};
+pub use smallvec::InlineVec;
 pub use time::{SimDuration, SimTime};

@@ -278,12 +278,14 @@ impl<T> Resource<T> {
         self.total_wait = SimDuration::ZERO;
     }
 
-    /// Removes and returns every queued token (failure handling: the
+    /// Removes every queued token into `out` (failure handling: the
     /// waiters are redirected elsewhere). Held units are unaffected.
-    pub fn drain_queue(&mut self, now: SimTime) -> Vec<T> {
+    /// The caller owns `out` so repeated drains reuse one buffer; it is
+    /// appended to, not cleared.
+    pub fn drain_queue_into(&mut self, now: SimTime, out: &mut Vec<T>) {
         self.queue_integral.update(now, self.queue.len() as f64);
         self.queue_integral.set_current(0.0);
-        self.queue.drain(..).map(|(t, _)| t).collect()
+        out.extend(self.queue.drain(..).map(|(t, _)| t));
     }
 }
 
@@ -387,6 +389,25 @@ mod tests {
     fn resource_release_underflow_panics() {
         let mut r: Resource<()> = Resource::new(1);
         r.release(SimTime::ZERO);
+    }
+
+    #[test]
+    fn resource_drain_queue_into_reuses_buffer() {
+        let mut r: Resource<u32> = Resource::new(1);
+        assert_eq!(r.acquire(SimTime::ZERO, 0), Some(0));
+        for i in 1..=3 {
+            assert_eq!(r.acquire(SimTime::ZERO, i), None);
+        }
+        let mut out = Vec::new();
+        r.drain_queue_into(SimTime::from_millis(1), &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(r.queue_len(), 0);
+        assert_eq!(r.in_use(), 1); // held unit untouched
+                                   // A second drain appends into the same (cleared) buffer.
+        out.clear();
+        assert_eq!(r.acquire(SimTime::from_millis(2), 9), None);
+        r.drain_queue_into(SimTime::from_millis(3), &mut out);
+        assert_eq!(out, vec![9]);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! A dependency-free inline small-vector.
+//!
+//! [`InlineVec<T, N>`] stores up to `N` elements inline (no heap
+//! allocation) and spills to a regular `Vec<T>` beyond that. The engine
+//! uses it for per-transaction lock and write lists, which are almost
+//! always tiny (a debit-credit transaction touches three pages), so the
+//! steady-state event loop never touches the global allocator for them.
+//!
+//! Two properties matter for the pooling design built on top:
+//!
+//! * [`clear`](InlineVec::clear) keeps the spill buffer's capacity and
+//!   returns the vector to inline mode, so a recycled vector that
+//!   spilled once never re-allocates for the same load, and
+//! * the element type must be `Copy`, which is what lets the inline
+//!   storage be a plain array with no `unsafe` (this crate forbids it).
+//!
+//! The container dereferences to `[T]`, so iteration, indexing,
+//! `contains`, `last` and friends come from the slice API.
+
+use std::ops::{Deref, DerefMut};
+
+/// A vector with inline storage for the first `N` elements.
+///
+/// ```rust
+/// use desim::smallvec::InlineVec;
+///
+/// let mut v: InlineVec<u32, 4> = InlineVec::new();
+/// for i in 0..6 {
+///     v.push(i);
+/// }
+/// assert_eq!(v.len(), 6);
+/// assert!(v.spilled());
+/// assert_eq!(v[4], 4);
+/// v.clear();
+/// assert!(!v.spilled());
+/// assert!(v.is_empty());
+/// ```
+pub struct InlineVec<T: Copy, const N: usize> {
+    /// Inline storage; `None` until the first push. After a spill the
+    /// array contents are stale and `spill` holds every element.
+    inline: Option<[T; N]>,
+    len: usize,
+    spill: Vec<T>,
+    spilled: bool,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector. Allocation-free.
+    pub const fn new() -> Self {
+        InlineVec {
+            inline: None,
+            len: 0,
+            spill: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if the elements currently live in the heap spill buffer.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.spill.push(value);
+        } else if self.len < N {
+            match &mut self.inline {
+                Some(arr) => arr[self.len] = value,
+                None => self.inline = Some([value; N]),
+            }
+            self.len += 1;
+            return;
+        } else {
+            // Spill: move the inline prefix over, then append. A vector
+            // that spilled before keeps its capacity across `clear`, so
+            // this allocates at most once per recycled buffer.
+            self.spill.clear();
+            if let Some(arr) = &self.inline {
+                self.spill.extend_from_slice(&arr[..self.len]);
+            }
+            self.spill.push(value);
+            self.spilled = true;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.spilled {
+            self.spill.pop()
+        } else {
+            Some(self.inline.as_ref().expect("len > 0 implies storage")[self.len])
+        }
+    }
+
+    /// Empties the vector, returning to inline mode. The spill buffer's
+    /// capacity is kept so a recycled vector does not re-allocate.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    /// Keeps only the elements for which `f` returns true, preserving
+    /// order.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        if self.spilled {
+            self.spill.retain(|x| f(x));
+            self.len = self.spill.len();
+        } else if let Some(arr) = &mut self.inline {
+            let mut kept = 0;
+            for i in 0..self.len {
+                if f(&arr[i]) {
+                    arr[kept] = arr[i];
+                    kept += 1;
+                }
+            }
+            self.len = kept;
+        }
+    }
+
+    /// Appends every element of `other`.
+    pub fn extend_from_slice(&mut self, other: &[T]) {
+        for &x in other {
+            self.push(x);
+        }
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.spill
+        } else {
+            match &self.inline {
+                Some(arr) => &arr[..self.len],
+                None => &[],
+            }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.spill
+        } else {
+            match &mut self.inline {
+                Some(arr) => &mut arr[..self.len],
+                None => &mut [],
+            }
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = InlineVec::new();
+        out.extend_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl<T: Copy + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = InlineVec::new();
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+            assert!(!v.spilled());
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_order() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_works_in_both_modes() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        assert_eq!(v.pop(), None);
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+        // a fully drained spilled vector accepts pushes again
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn clear_returns_to_inline_and_keeps_spill_capacity() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        let cap = v.spill.capacity();
+        assert!(cap >= 8);
+        v.clear();
+        assert!(!v.spilled());
+        assert!(v.is_empty());
+        assert_eq!(v.spill.capacity(), cap);
+        v.push(7);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn retain_inline_and_spilled() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        v.retain(|&x| x % 2 == 0);
+        assert_eq!(v.as_slice(), &[2, 4]);
+
+        let mut s: InlineVec<u64, 2> = InlineVec::new();
+        s.extend_from_slice(&[1, 2, 3, 4, 5]);
+        s.retain(|&x| x != 3);
+        assert_eq!(s.as_slice(), &[1, 2, 4, 5]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn slice_api_via_deref() {
+        let v: InlineVec<u64, 4> = [5, 6, 7].iter().copied().collect();
+        assert!(v.contains(&6));
+        assert_eq!(v.last(), Some(&7));
+        assert_eq!(v[0], 5);
+        assert_eq!(v.iter().sum::<u64>(), 18);
+        let mut total = 0;
+        for &x in &v {
+            total += x;
+        }
+        assert_eq!(total, 18);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: InlineVec<u64, 2> = [1, 2, 3].iter().copied().collect();
+        for x in v.iter_mut() {
+            *x *= 10;
+        }
+        assert_eq!(v.as_slice(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn clone_eq_debug() {
+        let v: InlineVec<u64, 2> = [1, 2, 3].iter().copied().collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+        let empty: InlineVec<u64, 2> = InlineVec::default();
+        assert_eq!(format!("{empty:?}"), "[]");
+    }
+}

@@ -1,0 +1,95 @@
+//! Heap-allocation accounting for perf regression tracking.
+//!
+//! [`CountingAlloc`] is a `GlobalAlloc` wrapper around the system
+//! allocator that bumps *thread-local* counters on every `alloc` /
+//! `alloc_zeroed` / `realloc`. Binaries that want allocation numbers
+//! (the `repro` CLI, the allocation-regression test) install it with
+//! `#[global_allocator]`; everything else links the plain system
+//! allocator and the counters read zero.
+//!
+//! The counters are thread-local on purpose: every harness job runs
+//! start-to-finish on one worker thread, so the pool can attribute
+//! allocator traffic to a job by snapshotting [`thread_allocs`] /
+//! [`thread_alloc_bytes`] around `RunSpec::execute` with no
+//! synchronization and no cross-job bleed. The thread-locals are
+//! const-initialized `Cell<u64>`s — no lazy initialization and no
+//! destructor, so reading them from inside the allocator cannot
+//! recurse into the allocator or touch torn-down TLS.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap allocations (`alloc` + `realloc` calls) this thread has
+/// performed since it started, when [`CountingAlloc`] is installed.
+pub fn thread_allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// Heap bytes this thread has requested since it started, when
+/// [`CountingAlloc`] is installed.
+pub fn thread_alloc_bytes() -> u64 {
+    BYTES.with(Cell::get)
+}
+
+#[inline]
+fn note(bytes: usize) {
+    // `try_with` so a (theoretical) access after TLS teardown degrades
+    // to "not counted" instead of panicking inside the allocator.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// A counting wrapper around [`System`]. Install with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install `CountingAlloc`, so the
+    // counters must stay zero no matter how much the test allocates —
+    // exactly the behavior the sim-crate tests rely on.
+    #[test]
+    fn counters_read_zero_without_installation() {
+        let before = (thread_allocs(), thread_alloc_bytes());
+        let v: Vec<u64> = (0..1000).collect();
+        assert_eq!(v.len(), 1000);
+        assert_eq!((thread_allocs(), thread_alloc_bytes()), before);
+    }
+
+    #[test]
+    fn note_bumps_both_counters() {
+        let (a0, b0) = (thread_allocs(), thread_alloc_bytes());
+        note(48);
+        note(16);
+        assert_eq!(thread_allocs(), a0 + 2);
+        assert_eq!(thread_alloc_bytes(), b0 + 64);
+    }
+}

@@ -41,6 +41,7 @@ pub fn artifact(
 ) -> Json {
     let records: Vec<Json> = results.iter().map(record).collect();
     let total_events: u64 = results.iter().map(|r| r.report.events_processed).sum();
+    let total_allocs: u64 = results.iter().map(|r| r.report.profile.host_allocs).sum();
     Json::obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         (
@@ -57,6 +58,11 @@ pub fn artifact(
         (
             "events_per_sec",
             Json::Num(total_events as f64 / total_wall_secs.max(1e-9)),
+        ),
+        ("total_allocs", Json::Num(total_allocs as f64)),
+        (
+            "allocs_per_event",
+            Json::Num(total_allocs as f64 / (total_events.max(1)) as f64),
         ),
         ("records", Json::Arr(records)),
     ])
@@ -85,6 +91,12 @@ fn record(result: &JobResult) -> Json {
             "events_per_sec",
             Json::Num(r.events_processed as f64 / result.wall_secs.max(1e-9)),
         ),
+        ("host_allocs", Json::Num(r.profile.host_allocs as f64)),
+        (
+            "host_alloc_bytes",
+            Json::Num(r.profile.host_alloc_bytes as f64),
+        ),
+        ("allocs_per_event", Json::Num(r.profile.allocs_per_event())),
         ("sim_seconds", Json::Num(r.sim_seconds)),
         ("measured_txns", Json::Num(r.measured_txns as f64)),
         ("mean_response_ms", Json::Num(r.mean_response_ms)),

@@ -26,10 +26,12 @@
 //! let artifact = outcome.artifact();
 //! ```
 
+pub mod alloc_track;
 pub mod artifact;
 pub mod json;
 pub mod pool;
 
+pub use alloc_track::CountingAlloc;
 pub use artifact::{fingerprint, write_artifact, SCHEMA};
 pub use json::Json;
 pub use pool::{run_jobs, Job, JobResult};

@@ -8,6 +8,7 @@
 //! the way in and dropped into index-addressed slots on the way out,
 //! which makes the returned vector identical for any worker count.
 
+use crate::alloc_track;
 use dbshare_sim::experiments::RunSpec;
 use dbshare_sim::RunReport;
 use std::collections::VecDeque;
@@ -65,12 +66,21 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult
                 // Pop under the lock, run outside it.
                 let next = queue.lock().expect("job queue poisoned").pop_front();
                 let Some((index, job)) = next else { break };
+                // Jobs run start-to-finish on this thread, so the
+                // thread-local allocation counters delimit exactly this
+                // job's allocator traffic (zero unless the binary
+                // installed `CountingAlloc`).
+                let allocs0 = alloc_track::thread_allocs();
+                let bytes0 = alloc_track::thread_alloc_bytes();
                 let start = Instant::now();
-                let report = job.spec.execute();
+                let mut report = job.spec.execute();
+                let wall_secs = start.elapsed().as_secs_f64();
+                report.profile.host_allocs = alloc_track::thread_allocs() - allocs0;
+                report.profile.host_alloc_bytes = alloc_track::thread_alloc_bytes() - bytes0;
                 let result = JobResult {
                     job,
                     report,
-                    wall_secs: start.elapsed().as_secs_f64(),
+                    wall_secs,
                 };
                 if tx.send((index, result)).is_err() {
                     break; // receiver gone: nothing left to report to

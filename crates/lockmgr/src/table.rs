@@ -94,6 +94,14 @@ pub struct LockTable {
     held: FxHashMap<TxnId, FxHashSet<PageId>>,
     grants: u64,
     conflicts: u64,
+    /// Recycled [`LockState`]s: a page's entry is created on first
+    /// conflict-free use and dropped once idle, so without recycling
+    /// every lock cycle pays a holder-list allocation.
+    free_states: Vec<LockState>,
+    /// Recycled per-transaction held-page sets (emptied, capacity kept).
+    free_sets: Vec<FxHashSet<PageId>>,
+    /// Reusable page list for [`release_all`](LockTable::release_all).
+    scratch: Vec<PageId>,
 }
 
 impl LockTable {
@@ -109,14 +117,25 @@ impl LockTable {
         LockTable {
             locks: fxhash::map_with_capacity(pages),
             held: fxhash::map_with_capacity(txns),
-            grants: 0,
-            conflicts: 0,
+            ..LockTable::default()
         }
+    }
+
+    /// Records `page` in `txn`'s held-page index, reusing a pooled set
+    /// for a transaction's first lock.
+    fn index_held(&mut self, txn: TxnId, page: PageId) {
+        self.held
+            .entry(txn)
+            .or_insert_with(|| self.free_sets.pop().unwrap_or_default())
+            .insert(page);
     }
 
     /// Requests a lock on `page` in `mode` for `txn`.
     pub fn request(&mut self, txn: TxnId, page: PageId, mode: LockMode) -> LockReply {
-        let state = self.locks.entry(page).or_default();
+        let state = self
+            .locks
+            .entry(page)
+            .or_insert_with(|| self.free_states.pop().unwrap_or_default());
         if let Some(held) = state.holder_mode(txn) {
             if held.covers(mode) {
                 return LockReply::AlreadyHeld;
@@ -148,7 +167,7 @@ impl LockTable {
         }
         if state.queue.is_empty() && state.compatible_with_holders(txn, mode) {
             state.holders.push((txn, mode));
-            self.held.entry(txn).or_default().insert(page);
+            self.index_held(txn, page);
             self.grants += 1;
             LockReply::Granted
         } else {
@@ -174,12 +193,17 @@ impl LockTable {
             set.remove(&page);
         }
         let granted = Self::promote(state);
+        let idle = state.holders.is_empty() && state.queue.is_empty();
         for &(t, _) in &granted {
-            self.held.entry(t).or_default().insert(page);
+            self.index_held(t, page);
             self.grants += 1;
         }
-        if state.holders.is_empty() && state.queue.is_empty() {
-            self.locks.remove(&page);
+        if idle {
+            // Recycle the entry: its holder list (and any queue
+            // capacity) is reused by the next page that locks.
+            if let Some(state) = self.locks.remove(&page) {
+                self.free_states.push(state);
+            }
         }
         granted
     }
@@ -188,18 +212,24 @@ impl LockTable {
     /// abort), returning all newly granted `(page, txn, mode)` triples
     /// in deterministic (page, queue) order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(PageId, TxnId, LockMode)> {
-        let mut pages: Vec<PageId> = self
-            .held
-            .remove(&txn)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
+        // The page list lives in a reusable scratch buffer and the
+        // emptied held-set returns to the pool, so the common
+        // no-waiters release performs no allocation at all (`out`
+        // only allocates when something is actually granted).
+        let mut pages = std::mem::take(&mut self.scratch);
+        pages.clear();
+        if let Some(mut set) = self.held.remove(&txn) {
+            pages.extend(set.drain());
+            self.free_sets.push(set);
+        }
         pages.sort_unstable();
         let mut out = Vec::new();
-        for page in pages {
+        for &page in &pages {
             for (t, m) in self.release(txn, page) {
                 out.push((page, t, m));
             }
         }
+        self.scratch = pages;
         out
     }
 

@@ -131,6 +131,23 @@ impl TxnSpec {
     pub fn write_count(&self) -> usize {
         self.refs.iter().filter(|r| r.mode.is_write()).count()
     }
+
+    /// Consumes the spec, returning its reference buffer for reuse
+    /// (cleared). Lets workload generators recycle the per-transaction
+    /// `Vec` instead of allocating a fresh one per draw.
+    pub fn into_refs(self) -> Vec<PageRef> {
+        let mut refs = self.refs;
+        refs.clear();
+        refs
+    }
+}
+
+impl Default for TxnSpec {
+    /// An empty placeholder spec (no references). Used when moving a
+    /// spec out of retired transaction state without allocating.
+    fn default() -> Self {
+        TxnSpec::new(TxnTypeId::new(0), 0, Vec::new())
+    }
 }
 
 #[cfg(test)]

@@ -2,11 +2,11 @@
 //! FORCE, all modified pages) to non-volatile storage; phase 2 releases
 //! the transaction's locks and publishes its modifications.
 
+use super::events::ReleasePages;
 use super::txn::CommitWrite;
 use super::{Cont, Engine, Job, Msg, MsgBody, Phase};
 use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, UpdateStrategy};
-use desim::fxhash::FxHashMap;
 use desim::SimTime;
 
 impl Engine {
@@ -38,17 +38,18 @@ impl Engine {
             return;
         };
         let force = self.cfg.update == UpdateStrategy::Force;
-        let mut writes: Vec<CommitWrite> = Vec::new();
+        t.commit_writes.clear();
         if force {
-            let pages: Vec<PageId> = t.modified.clone();
-            writes.extend(pages.into_iter().map(|p| CommitWrite { page: Some(p) }));
+            for i in 0..t.modified.len() {
+                let p = t.modified[i];
+                t.commit_writes.push(CommitWrite { page: Some(p) });
+            }
         }
         if !t.modified.is_empty() {
             // One log page per update transaction (§3.2), written after
             // the force-writes.
-            writes.push(CommitWrite { page: None });
+            t.commit_writes.push(CommitWrite { page: None });
         }
-        t.commit_writes = writes;
         if t.commit_writes.is_empty() {
             self.phase2_begin(now, id);
         } else {
@@ -203,10 +204,11 @@ impl Engine {
         let Some(t) = self.txns.get(&id) else { return };
         let node = t.node;
         let force = self.cfg.update == UpdateStrategy::Force;
-        let modified: Vec<PageId> = t.modified.clone();
         // Publish new versions: sequence numbers bump; the owner is this
-        // node (NOFORCE) or storage (FORCE).
-        for &p in &modified {
+        // node (NOFORCE) or storage (FORCE). Indexed loop: the modified
+        // list stays put while `&mut self` methods run.
+        for i in 0..self.txn(id).modified.len() {
+            let p = self.txn(id).modified[i];
             let new_seq = if self.locked_partition(p) {
                 self.glt.record_modification(p, node, force);
                 self.glt.info(p).seqno
@@ -223,6 +225,7 @@ impl Engine {
             }
         }
         let grants = self.glt.release_all(id);
+        self.txn_mut(id).held_gem.clear();
         self.process_gem_grants(now, grants);
         self.txn_complete(now, id);
     }
@@ -237,26 +240,14 @@ impl Engine {
         let Some(t) = self.txns.get(&id) else { return };
         let node = t.node;
         let noforce = self.is_noforce();
-        let modified: Vec<PageId> = t.modified.clone();
-        let held_gla = t.held_gla.clone();
-        let held_ra = t.held_ra.clone();
-
-        // Group remote authorities and their released pages.
-        let mut remote: FxHashMap<NodeId, Vec<(PageId, bool)>> = FxHashMap::default();
-        for &(g, p, _) in &held_gla {
-            if g != node {
-                remote
-                    .entry(g)
-                    .or_default()
-                    .push((p, modified.contains(&p)));
-            }
-        }
 
         // Publish modifications in the local buffer. Ownership of pages
         // with a remote authority transfers to the GLA node (the copy
         // here stays clean); locally-authorized pages stay dirty here
-        // under NOFORCE.
-        for &p in &modified {
+        // under NOFORCE. Indexed loop: the modified list stays put while
+        // `&mut self` methods run.
+        for i in 0..self.txn(id).modified.len() {
+            let p = self.txn(id).modified[i];
             let local_authority = !self.locked_partition(p) // latched partitions are node-local
                 || self.gla_map.gla_of(p) == node;
             let new_seq = if !self.locked_partition(p) {
@@ -277,25 +268,47 @@ impl Engine {
             }
         }
 
-        // Local lock releases.
+        // Local lock releases. (These never touch this transaction's
+        // held lists: grants go to *waiters* of the released locks.)
         let grants = self.gla[node.index()].release_all(id);
         self.process_gla_grants(now, node, grants);
-        for p in held_ra {
+        for i in 0..self.txn(id).held_ra.len() {
+            let p = self.txn(id).held_ra[i];
             if self.nodes[node.index()].ra.release(id, p) {
                 self.send_deferred_ack(now, node, p);
             }
         }
+        self.txn_mut(id).held_ra.clear();
 
-        // Release messages to remote authorities; the last send closes
-        // the transaction (no replies are needed).
-        if remote.is_empty() {
+        // Release messages to remote authorities, one per authority in
+        // NodeId order, pages riding along in held-lock order. The
+        // distinct-authority scratch is engine-owned and the page lists
+        // are inline, so the steady state does not allocate. The last
+        // send closes the transaction (no replies are needed).
+        let mut authorities = std::mem::take(&mut self.scratch_nodes);
+        authorities.clear();
+        for &(g, _, _) in self.txn(id).held_gla.iter() {
+            if g != node && !authorities.contains(&g) {
+                authorities.push(g);
+            }
+        }
+        if authorities.is_empty() {
+            self.scratch_nodes = authorities;
+            self.txn_mut(id).held_gla.clear();
             self.txn_complete(now, id);
             return;
         }
-        let mut targets: Vec<(NodeId, Vec<(PageId, bool)>)> = remote.into_iter().collect();
-        targets.sort_by_key(|&(g, _)| g);
-        let last = targets.len() - 1;
-        for (i, (g, pages)) in targets.into_iter().enumerate() {
+        authorities.sort_unstable();
+        let last = authorities.len() - 1;
+        for (i, &g) in authorities.iter().enumerate() {
+            let mut pages: ReleasePages = self.release_pool.pop().unwrap_or_default();
+            debug_assert!(pages.is_empty(), "pooled release buffer not cleared");
+            let t = self.txn(id);
+            for &(a, p, _) in t.held_gla.iter() {
+                if a == g {
+                    pages.push((p, t.modified.contains(&p)));
+                }
+            }
             let last_of = if i == last { Some(id) } else { None };
             self.send_msg(
                 now,
@@ -308,6 +321,11 @@ impl Engine {
                 last_of,
             );
         }
+        // The release messages now carry every remote page; the held
+        // list is done (a crash abort in the final-send window must not
+        // release these locks a second time).
+        self.txn_mut(id).held_gla.clear();
+        self.scratch_nodes = authorities;
     }
 
     /// Processes grants produced at a GLA node: wake local waiters, send

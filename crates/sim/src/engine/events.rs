@@ -4,6 +4,14 @@ use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, TxnSpec};
 use desim::{SimDuration, SimTime};
 
+/// Page list carried by a commit-time [`MsgBody::Release`]. A plain
+/// `Vec` keeps the `Event` enum small (every calendar slot pays for
+/// the largest variant); the engine recycles these buffers through
+/// `Engine::release_pool`, so the steady state still does not
+/// allocate: the receiver returns the emptied buffer to the pool and
+/// commit phase 2 takes its buffers from it.
+pub(crate) type ReleasePages = Vec<(PageId, bool)>;
+
 /// A calendar event.
 #[derive(Debug)]
 pub(crate) enum Event {
@@ -237,7 +245,7 @@ pub(crate) enum MsgBody {
         /// Releasing transaction.
         txn: TxnId,
         /// Pages released at this authority, with their modified flag.
-        pages: Vec<(PageId, bool)>,
+        pages: ReleasePages,
     },
     /// PCL read optimization: revoke a read authorization.
     Revoke {

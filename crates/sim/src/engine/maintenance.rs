@@ -456,14 +456,20 @@ impl Engine {
     /// milliseconds of in-flight slices.
     pub(crate) fn node_crash(&mut self, now: SimTime, node: NodeId) {
         self.down[node.index()] = true;
-        // Arrivals waiting for an MPL slot restart on a survivor.
-        let queued = self.nodes[node.index()].mpl.drain_queue(now);
-        for id in queued {
+        // Arrivals waiting for an MPL slot restart on a survivor. The
+        // drain reuses the engine-owned scratch buffer.
+        let mut queued = std::mem::take(&mut self.scratch_queue);
+        queued.clear();
+        self.nodes[node.index()]
+            .mpl
+            .drain_queue_into(now, &mut queued);
+        for &id in &queued {
             if let Some(t) = self.txns.remove(&id) {
                 self.counters.crash_aborts += 1;
                 self.schedule_restart(now, &t);
             }
         }
+        self.scratch_queue = queued;
         // Every live transaction executing on the node aborts.
         let mut victims: Vec<TxnId> = self
             .txns

@@ -106,13 +106,16 @@ impl Engine {
 
     /// Receive CPU finished: act on the message.
     pub(crate) fn handle_msg(&mut self, now: SimTime, msg: Msg) {
-        match msg.body.clone() {
+        // Take the body apart by value: cloning it would copy the
+        // Release page list (a heap allocation whenever it spilled).
+        let Msg { from, to, body } = msg;
+        match body {
             MsgBody::LockReq {
                 txn,
                 page,
                 mode,
                 cached,
-            } => self.gla_lock_req(now, msg.to, msg.from, txn, page, mode, cached),
+            } => self.gla_lock_req(now, to, from, txn, page, mode, cached),
             MsgBody::LockGrant {
                 txn,
                 page,
@@ -120,23 +123,23 @@ impl Engine {
                 seqno,
                 with_page,
                 ra,
-            } => self.requester_grant(now, msg.to, txn, page, mode, seqno, with_page, ra),
-            MsgBody::Release { txn, pages } => self.gla_release(now, msg.to, txn, pages),
-            MsgBody::Revoke { page, writer } => match self.nodes[msg.to.index()].ra.revoke(page) {
+            } => self.requester_grant(now, to, txn, page, mode, seqno, with_page, ra),
+            MsgBody::Release { txn, pages } => self.gla_release(now, to, txn, pages),
+            MsgBody::Revoke { page, writer } => match self.nodes[to.index()].ra.revoke(page) {
                 RevokeAction::AckNow => self.send_msg(
                     now,
                     Msg {
-                        from: msg.to,
-                        to: msg.from,
+                        from: to,
+                        to: from,
                         body: MsgBody::RevokeAck { page, writer },
                     },
                     None,
                     None,
                 ),
                 RevokeAction::Deferred => {
-                    self.nodes[msg.to.index()]
+                    self.nodes[to.index()]
                         .pending_acks
-                        .insert(page, (msg.from, writer));
+                        .insert(page, (from, writer));
                 }
             },
             MsgBody::RevokeAck { page, writer } => {
@@ -151,14 +154,14 @@ impl Engine {
                     self.finish_pending_write(now, writer);
                 }
             }
-            MsgBody::PageReq { txn, page } => self.owner_page_req(now, msg.to, msg.from, txn, page),
+            MsgBody::PageReq { txn, page } => self.owner_page_req(now, to, from, txn, page),
             MsgBody::PageReply {
                 txn,
                 page,
                 seqno,
                 found,
                 via_gem,
-            } => self.requester_page_reply(now, msg.to, txn, page, seqno, found, via_gem),
+            } => self.requester_page_reply(now, to, txn, page, seqno, found, via_gem),
         }
     }
 
@@ -277,7 +280,7 @@ impl Engine {
         now: SimTime,
         gla_node: NodeId,
         txn: TxnId,
-        pages: Vec<(PageId, bool)>,
+        mut pages: super::events::ReleasePages,
     ) {
         let noforce = self.is_noforce();
         for (page, modified) in &pages {
@@ -295,6 +298,9 @@ impl Engine {
                 }
             }
         }
+        // The emptied buffer goes back to the pool for the next commit.
+        pages.clear();
+        self.release_pool.push(pages);
         let grants = self.gla[gla_node.index()].release_all(txn);
         self.process_gla_grants(now, gla_node, grants);
     }

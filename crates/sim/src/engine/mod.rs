@@ -18,7 +18,7 @@ use dbshare_lockmgr::pcl::{GlaState, RaTable};
 use dbshare_lockmgr::{GemLockTable, LockMode};
 use dbshare_model::config::ConfigError;
 use dbshare_model::gla::GlaMap;
-use dbshare_model::{CouplingMode, NodeId, PageId, SystemConfig, TxnId, UpdateStrategy};
+use dbshare_model::{CouplingMode, NodeId, PageId, SystemConfig, TxnId, TxnSpec, UpdateStrategy};
 use dbshare_node::{BufferManager, CostModel};
 use dbshare_storage::globallog::LocalLog;
 use dbshare_storage::StorageSubsystem;
@@ -100,6 +100,19 @@ pub struct Engine {
     pub(crate) measured: u64,
     pub(crate) part_locking: Vec<bool>,
     pub(crate) part_names: Vec<String>,
+    /// Reusable scratch: distinct remote authorities of a committing
+    /// transaction (commit phase 2 builds release messages from it
+    /// without allocating).
+    pub(crate) scratch_nodes: Vec<NodeId>,
+    /// Recycled page-list buffers for release messages: commit phase 2
+    /// takes buffers here, the receiving GLA returns them emptied.
+    pub(crate) release_pool: Vec<events::ReleasePages>,
+    /// Reusable scratch: transactions drained from a crashed node's
+    /// MPL input queue.
+    pub(crate) scratch_queue: Vec<TxnId>,
+    /// Specs of retired transactions; the workload generator reuses
+    /// their reference buffers for new draws.
+    pub(crate) spare_specs: Vec<TxnSpec>,
     /// Per-node commit logs, merged into the global log at end of run
     /// (§2 / \[Ra91a\]).
     pub(crate) local_logs: Vec<LocalLog>,
@@ -172,6 +185,10 @@ impl Engine {
             measured: 0,
             part_locking,
             part_names,
+            scratch_nodes: Vec::new(),
+            scratch_queue: Vec::new(),
+            release_pool: Vec::new(),
+            spare_specs: Vec::new(),
             local_logs: (0..cfg.nodes)
                 .map(|i| LocalLog::new(NodeId::new(i)))
                 .collect(),
@@ -238,7 +255,8 @@ impl Engine {
                 let gap =
                     SimDuration::from_micros_f64(self.arrival_rng.exp(self.mean_arrival_gap_us));
                 self.cal.schedule(now + gap, Event::Arrival);
-                let (node, spec) = self.workload.next(&mut self.wl_rng);
+                let spare = self.spare_specs.pop();
+                let (node, spec) = self.workload.next_with(&mut self.wl_rng, spare);
                 self.admit(now, node, spec, now, 0);
             }
             Event::Restart {
@@ -399,22 +417,21 @@ impl Engine {
         &mut self,
         now: SimTime,
         node: NodeId,
-        spec: dbshare_model::TxnSpec,
+        spec: TxnSpec,
         arrival: SimTime,
         restarts: u32,
     ) {
         let node = self.alive_node(node);
         let id = TxnId::new(self.next_txn);
         self.next_txn += 1;
-        let mut t = Txn::new(id, node, spec, arrival, restarts);
         let granted = self.nodes[node.index()].mpl.acquire(now, id).is_some();
+        self.txns.admit(id, node, spec, arrival, restarts);
         if granted {
-            t.admitted = now;
-            t.phase = Phase::Running;
-            self.txns.insert(id, t);
+            if let Some(t) = self.txns.get_mut(&id) {
+                t.admitted = now;
+                t.phase = Phase::Running;
+            }
             self.start_txn(now, id);
-        } else {
-            self.txns.insert(id, t);
         }
     }
 
@@ -439,25 +456,36 @@ impl Engine {
     /// (A transaction may have been killed by a node crash while its
     /// final send was in flight; completion is then a no-op.)
     pub(crate) fn txn_complete(&mut self, now: SimTime, id: TxnId) {
-        let Some(t) = self.txns.remove(&id) else {
+        let Some(t) = self.txns.get_mut(&id) else {
             return;
         };
         debug_assert_eq!(t.id, id);
-        if !t.modified.is_empty() {
-            self.local_logs[t.node.index()].append(now, id, t.modified.len() as u32);
+        // Retire the storage in place: the spec's reference buffer
+        // feeds the next workload draw, the Txn's collections (still
+        // sitting in their slab slot) the next admission.
+        let spec = std::mem::take(&mut t.spec);
+        let node = t.node;
+        let modified = t.modified.len() as u32;
+        let arrival = t.arrival;
+        let admitted = t.admitted;
+        let (lock_wait, io_wait) = (t.lock_wait, t.io_wait);
+        let (cpu_wait, cpu_service) = (t.cpu_wait, t.cpu_service);
+        self.txns.retire(&id);
+        if modified > 0 {
+            self.local_logs[node.index()].append(now, id, modified);
         }
         self.counters.committed += 1;
         if self.warmed {
             self.measured += 1;
             self.metrics.record_commit_time(now);
             self.metrics.record_completion(
-                now - t.arrival,
-                t.spec.refs().len(),
-                t.admitted - t.arrival,
-                t.lock_wait,
-                t.io_wait,
-                t.cpu_wait,
-                t.cpu_service,
+                now - arrival,
+                spec.refs().len(),
+                admitted - arrival,
+                lock_wait,
+                io_wait,
+                cpu_wait,
+                cpu_service,
             );
             if self.measured >= self.cfg.run.measured_txns {
                 self.done = true;
@@ -465,7 +493,8 @@ impl Engine {
         } else if self.counters.committed >= self.cfg.run.warmup_txns {
             self.end_warmup(now);
         }
-        if let Some((next, since)) = self.nodes[t.node.index()].mpl.release(now) {
+        self.spare_specs.push(spec);
+        if let Some((next, since)) = self.nodes[node.index()].mpl.release(now) {
             let _ = since;
             if let Some(n) = self.txns.get_mut(&next) {
                 n.admitted = now;

@@ -3,6 +3,7 @@
 use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, TxnSpec};
 use desim::fxhash::FxHashMap;
+use desim::smallvec::InlineVec;
 use desim::{SimDuration, SimTime};
 
 /// Where a transaction currently is in its lifecycle.
@@ -47,18 +48,18 @@ pub(crate) struct Txn {
     /// Lifecycle phase.
     pub phase: Phase,
     /// Pages locked via the GEM global lock table.
-    pub held_gem: Vec<PageId>,
+    pub held_gem: InlineVec<PageId, 8>,
     /// Locks held at GLA nodes: (authority, page, mode).
-    pub held_gla: Vec<(NodeId, PageId, LockMode)>,
+    pub held_gla: InlineVec<(NodeId, PageId, LockMode), 8>,
     /// Pages read-locked locally under a read authorization.
-    pub held_ra: Vec<PageId>,
+    pub held_ra: InlineVec<PageId, 8>,
     /// Page version numbers learned at lock time (used to predict the
     /// post-commit version for remote authorities).
     pub page_seqnos: FxHashMap<PageId, u64>,
     /// Pages modified (ordered, deduplicated).
-    pub modified: Vec<PageId>,
+    pub modified: InlineVec<PageId, 8>,
     /// Commit phase 1 write list (performed as a sequential chain).
-    pub commit_writes: Vec<CommitWrite>,
+    pub commit_writes: InlineVec<CommitWrite, 8>,
     /// The page a lock is being waited on.
     pub waiting_page: Option<PageId>,
     /// When the current wait began.
@@ -87,12 +88,12 @@ impl Txn {
             admitted: arrival,
             step: 0,
             phase: Phase::InputQueue,
-            held_gem: Vec::new(),
-            held_gla: Vec::new(),
-            held_ra: Vec::new(),
+            held_gem: InlineVec::new(),
+            held_gla: InlineVec::new(),
+            held_ra: InlineVec::new(),
             page_seqnos: FxHashMap::default(),
-            modified: Vec::new(),
-            commit_writes: Vec::new(),
+            modified: InlineVec::new(),
+            commit_writes: InlineVec::new(),
             waiting_page: None,
             wait_since: SimTime::ZERO,
             restarts,
@@ -101,6 +102,45 @@ impl Txn {
             cpu_wait: SimDuration::ZERO,
             cpu_service: SimDuration::ZERO,
         }
+    }
+
+    /// Reinitialises a recycled transaction slot for a new admission,
+    /// keeping every collection's capacity (spill buffers, hash-map
+    /// storage). Equivalent to `*self = Txn::new(..)` without the
+    /// allocations.
+    pub fn renew(
+        &mut self,
+        id: TxnId,
+        node: NodeId,
+        spec: TxnSpec,
+        arrival: SimTime,
+        restarts: u32,
+    ) {
+        debug_assert!(
+            self.held_gem.is_empty() && self.held_gla.is_empty() && self.held_ra.is_empty(),
+            "recycled transaction {:?} still holds locks",
+            self.id
+        );
+        self.id = id;
+        self.node = node;
+        self.spec = spec;
+        self.arrival = arrival;
+        self.admitted = arrival;
+        self.step = 0;
+        self.phase = Phase::InputQueue;
+        self.held_gem.clear();
+        self.held_gla.clear();
+        self.held_ra.clear();
+        self.page_seqnos.clear();
+        self.modified.clear();
+        self.commit_writes.clear();
+        self.waiting_page = None;
+        self.wait_since = SimTime::ZERO;
+        self.restarts = restarts;
+        self.lock_wait = SimDuration::ZERO;
+        self.io_wait = SimDuration::ZERO;
+        self.cpu_wait = SimDuration::ZERO;
+        self.cpu_service = SimDuration::ZERO;
     }
 
     /// Records a modified page (deduplicated, order-preserving).

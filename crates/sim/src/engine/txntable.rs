@@ -16,12 +16,17 @@
 //! as they had to before.
 
 use super::Txn;
-use dbshare_model::TxnId;
+use dbshare_model::{NodeId, TxnId, TxnSpec};
+use desim::SimTime;
 
 const NIL: u32 = u32::MAX;
 
 #[derive(Debug)]
 pub(crate) struct TxnTable {
+    /// A slot holds either a live transaction, a *retired* one
+    /// ([`Self::retire`]) whose storage waits in place for the next
+    /// admission, or `None` after an abort ([`Self::remove`]). Retired
+    /// slots are distinguished by their id mapping to `NIL` in `index`.
     slots: Vec<Option<Txn>>,
     free: Vec<u32>,
     /// `TxnId::raw() → slot`, `NIL` once completed/aborted.
@@ -41,6 +46,60 @@ impl TxnTable {
         }
     }
 
+    /// Admits a transaction, reusing a freed slot when one exists. A
+    /// retired predecessor in that slot is renewed *in place*
+    /// ([`Txn::renew`]), so its spill buffers and hash-map storage —
+    /// and the slot's bytes themselves — are recycled without either
+    /// an allocation or a `Txn`-sized move through the stack. `id`
+    /// must be fresh (higher than every id ever admitted) —
+    /// guaranteed by the engine's monotonic id allocation.
+    pub fn admit(
+        &mut self,
+        id: TxnId,
+        node: NodeId,
+        spec: TxnSpec,
+        arrival: SimTime,
+        restarts: u32,
+    ) {
+        let raw = id.raw() as usize;
+        debug_assert!(
+            raw >= self.index.len(),
+            "TxnId {raw} reused — ids must be fresh"
+        );
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, NIL);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                match &mut self.slots[s as usize] {
+                    Some(t) => t.renew(id, node, spec, arrival, restarts),
+                    empty => *empty = Some(Txn::new(id, node, spec, arrival, restarts)),
+                }
+                s
+            }
+            None => {
+                self.slots
+                    .push(Some(Txn::new(id, node, spec, arrival, restarts)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index[raw] = slot;
+        self.live += 1;
+    }
+
+    /// Ends a transaction but leaves its storage in the slot for the
+    /// next [`Self::admit`] to renew. The slot joins the same free
+    /// list as [`Self::remove`] uses, so slot-assignment order — and
+    /// with it every iteration order — is identical either way.
+    pub fn retire(&mut self, id: &TxnId) {
+        let Some(s) = self.slot_of(*id) else {
+            return;
+        };
+        self.index[id.raw() as usize] = NIL;
+        self.free.push(s as u32);
+        self.live -= 1;
+    }
+
     #[inline]
     fn slot_of(&self, id: TxnId) -> Option<usize> {
         match self.index.get(id.raw() as usize) {
@@ -49,9 +108,11 @@ impl TxnTable {
         }
     }
 
-    /// Registers a new transaction. `id` must be fresh (higher than
-    /// every id ever inserted) — guaranteed by the engine's monotonic
-    /// id allocation.
+    /// Registers a pre-built transaction. `id` must be fresh (higher
+    /// than every id ever inserted) — guaranteed by the engine's
+    /// monotonic id allocation. The engine itself admits through
+    /// [`Self::admit`]; this is the test-side primitive.
+    #[cfg(test)]
     pub fn insert(&mut self, id: TxnId, txn: Txn) {
         let raw = id.raw() as usize;
         debug_assert!(
@@ -105,8 +166,13 @@ impl TxnTable {
     }
 
     /// Live transactions in slot order (deterministic; not id order).
+    /// Retired storage waiting in a slot is skipped: its id maps to
+    /// `NIL`, exactly like a removed one's.
     pub fn values(&self) -> impl Iterator<Item = &Txn> {
-        self.slots.iter().filter_map(|s| s.as_ref())
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .filter(|t| self.slot_of(t.id).is_some())
     }
 
     /// `(id, txn)` pairs in slot order (deterministic; not id order).
@@ -163,6 +229,34 @@ mod tests {
         let mut ids: Vec<u64> = t.iter().map(|(id, _)| id.raw()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![48, 49]);
+    }
+
+    #[test]
+    fn retire_keeps_storage_for_renewal_in_place() {
+        let mut t = TxnTable::with_capacity(2, 8);
+        t.insert(TxnId::new(0), mk(0));
+        t.get_mut(&TxnId::new(0)).unwrap().step = 9;
+        t.retire(&TxnId::new(0));
+        // the corpse is unreachable and invisible to iteration...
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains_key(&TxnId::new(0)));
+        assert_eq!(t.values().count(), 0);
+        // ...but its slot (and storage) is renewed by the next admit
+        t.admit(
+            TxnId::new(1),
+            NodeId::new(0),
+            TxnSpec::new(TxnTypeId::new(0), 0, Vec::new()),
+            SimTime::ZERO,
+            0,
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.slots.len() <= 1, "slot was not reused");
+        let renewed = t.get(&TxnId::new(1)).unwrap();
+        assert_eq!(renewed.id, TxnId::new(1));
+        assert_eq!(renewed.step, 0, "renew did not reset state");
+        // removal (abort path) empties the slot instead
+        t.remove(&TxnId::new(1)).unwrap();
+        assert_eq!(t.values().count(), 0);
     }
 
     #[test]

@@ -178,6 +178,15 @@ pub struct RunProfile {
     pub cont_messaging: u64,
     /// Continuations dispatched into storage, buffer, and transfer I/O.
     pub cont_storage: u64,
+    /// Host heap allocations performed while executing the run
+    /// (`alloc` + `realloc` calls). Filled in by the harness when a
+    /// counting global allocator is installed (`repro` binary); zero
+    /// otherwise. Deterministic for a given build: the same job
+    /// performs the same allocation sequence every time.
+    pub host_allocs: u64,
+    /// Host heap bytes requested while executing the run. Same caveats
+    /// as [`host_allocs`](Self::host_allocs).
+    pub host_alloc_bytes: u64,
 }
 
 impl RunProfile {
@@ -196,6 +205,20 @@ impl RunProfile {
         self.cont_locking += other.cont_locking;
         self.cont_messaging += other.cont_messaging;
         self.cont_storage += other.cont_storage;
+        self.host_allocs += other.host_allocs;
+        self.host_alloc_bytes += other.host_alloc_bytes;
+    }
+
+    /// Host heap allocations per processed calendar event — the
+    /// steady-state allocator pressure this profile saw. Zero when no
+    /// counting allocator was installed.
+    pub fn allocs_per_event(&self) -> f64 {
+        let events = self.events_total();
+        if events == 0 {
+            0.0
+        } else {
+            self.host_allocs as f64 / events as f64
+        }
     }
 
     /// Total calendar events processed (sum of the per-type counts).

@@ -64,6 +64,20 @@ fn golden_gem_noforce_2_nodes() {
 }
 
 #[test]
+fn golden_pcl_noforce_2_nodes() {
+    let got = run(CouplingMode::Pcl, UpdateStrategy::NoForce, 2);
+    assert_eq!(
+        got,
+        "measured=2500 resp=405485c9357c595f p95=406040bfe1975f2d norm=405485c9357c5955 \
+         tput=40688b37ce66c28e lockw=401a0d29881ab36d iow=4045ab94a05ed04b \
+         cpuw=4021de9927556fc4 cpusvc=403b7adf0ee4617e cpu=3fe73de472f777e7 \
+         msgs=400507c84b5dcc64 locks=40000c49ba5e353f reads=3ff7a0f9096bb98c \
+         writes=3ff0000000000000 deadlocks=0 timeouts=0 events=69172",
+        "PCL/NOFORCE metrics drifted"
+    );
+}
+
+#[test]
 fn golden_pcl_force_3_nodes() {
     let got = run(CouplingMode::Pcl, UpdateStrategy::Force, 3);
     assert_eq!(

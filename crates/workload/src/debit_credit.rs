@@ -310,6 +310,10 @@ impl DebitCreditWorkload {
 
 impl Workload for DebitCreditWorkload {
     fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec) {
+        self.next_with(rng, None)
+    }
+
+    fn next_with(&mut self, rng: &mut Rng, spare: Option<TxnSpec>) -> (NodeId, TxnSpec) {
         let dc = self.dc.clone();
         let branch = rng.below(dc.branches());
         let node = self.route(rng, branch);
@@ -341,21 +345,17 @@ impl Workload for DebitCreditWorkload {
         // insert, and the small TELLER and BRANCH records last to keep
         // their locks held as briefly as possible. All four record
         // types are updated; clustering folds BRANCH+TELLER into one
-        // page write (two record accesses).
-        let refs = if self.clustered {
-            vec![
-                PageRef::write(dc.account_page(account)),
-                PageRef::append(history),
-                PageRef::write(dc.bt_page(branch)).with_records(2),
-            ]
+        // page write (two record accesses). The reference buffer of a
+        // retired spec is reused when the caller supplies one.
+        let mut refs = spare.map(TxnSpec::into_refs).unwrap_or_default();
+        refs.push(PageRef::write(dc.account_page(account)));
+        refs.push(PageRef::append(history));
+        if self.clustered {
+            refs.push(PageRef::write(dc.bt_page(branch)).with_records(2));
         } else {
-            vec![
-                PageRef::write(dc.account_page(account)),
-                PageRef::append(history),
-                PageRef::write(self.teller_page(branch)),
-                PageRef::write(dc.bt_page(branch)),
-            ]
-        };
+            refs.push(PageRef::write(self.teller_page(branch)));
+            refs.push(PageRef::write(dc.bt_page(branch)));
+        }
         (node, TxnSpec::new(TxnTypeId::new(0), branch, refs))
     }
 

@@ -58,6 +58,9 @@ impl<W: Workload> Workload for WithGlaMap<W> {
     fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec) {
         self.inner.next(rng)
     }
+    fn next_with(&mut self, rng: &mut Rng, spare: Option<TxnSpec>) -> (NodeId, TxnSpec) {
+        self.inner.next_with(rng, spare)
+    }
     fn mean_accesses(&self) -> f64 {
         self.inner.mean_accesses()
     }
@@ -76,6 +79,16 @@ impl<W: Workload> Workload for WithGlaMap<W> {
 pub trait Workload {
     /// Draws the next transaction and the node it is routed to.
     fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec);
+
+    /// Like [`Workload::next`], but may reuse the reference buffer of a
+    /// retired spec instead of allocating a fresh one. Implementations
+    /// must draw from `rng` exactly as [`Workload::next`] does, so runs
+    /// are bit-identical whether or not spares are supplied. The
+    /// default ignores the spare.
+    fn next_with(&mut self, rng: &mut Rng, spare: Option<TxnSpec>) -> (NodeId, TxnSpec) {
+        let _ = spare;
+        self.next(rng)
+    }
 
     /// Mean *record* accesses per transaction (CPU is charged per
     /// record access, §3.2).

@@ -553,6 +553,10 @@ impl TraceWorkload {
 
 impl Workload for TraceWorkload {
     fn next(&mut self, rng: &mut Rng) -> (NodeId, TxnSpec) {
+        self.next_with(rng, None)
+    }
+
+    fn next_with(&mut self, rng: &mut Rng, spare: Option<TxnSpec>) -> (NodeId, TxnSpec) {
         let idx = match &self.type_weights {
             None => {
                 let i = self.next_idx;
@@ -577,9 +581,14 @@ impl Workload for TraceWorkload {
                 NodeId::new(n)
             }
         };
+        // Reuse a retired spec's reference buffer rather than cloning:
+        // the largest trace transactions carry >10k references, so the
+        // per-draw clone was the suite's heaviest remaining allocation.
+        let mut refs = spare.map(TxnSpec::into_refs).unwrap_or_default();
+        refs.extend_from_slice(&t.refs);
         (
             node,
-            TxnSpec::new(t.txn_type, t.txn_type.index() as u64, t.refs.clone()),
+            TxnSpec::new(t.txn_type, t.txn_type.index() as u64, refs),
         )
     }
 
