@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
-//!       [--csv DIR] [--svg DIR] [--profile] [--alloc-stats]
-//!       [--compare OLD.json] [-v]
+//!       [--csv DIR] [--svg DIR] [--trace DIR] [--timeline DIR]
+//!       [--profile] [--alloc-stats] [--compare OLD.json] [-v]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -29,9 +29,22 @@
 //! prints the per-figure and suite allocs/event to stderr, and
 //! `--compare OLD.json` prints a per-figure delta table (wall seconds,
 //! events/s, allocs/event) between this run and a saved artifact.
+//!
+//! `--timeline DIR` turns on the simulator's timeline sampler and
+//! writes one CSV per figure (`<fig>_timeline.csv`: windowed
+//! throughput, response components, occupancy, and utilizations per
+//! curve point). `--trace DIR` turns on structured tracing and writes
+//! one Perfetto-loadable Chrome trace-event JSON per curve point
+//! (`<fig>_<curve>_n<N>.trace.json`); traces record every event, so
+//! pair the flag with `--quick`, one figure, and a short `--nodes`
+//! list. Both outputs are stamped with simulated time only and are
+//! byte-identical across repeated runs and any `--jobs` value; with
+//! neither flag the engine runs the exact unobserved path, leaving
+//! stdout and the allocation profile untouched.
 
 use dbshare_bench::chart::Chart;
-use dbshare_harness::{write_artifact, CountingAlloc, Harness, Json, Outcome, Sweep};
+use dbshare_bench::trace_export::{self, TimelineRows};
+use dbshare_harness::{write_artifact, CountingAlloc, Harness, Json, Observe, Outcome, Sweep};
 use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
 use dbshare_sim::{RunProfile, RunReport};
 use std::path::Path;
@@ -265,6 +278,57 @@ fn write_csv(dir: &str, name: &str, series: &[Series]) {
     println!("wrote {path}");
 }
 
+/// A curve label reduced to a filename-safe slug (`"2 CPUs, FORCE"`
+/// becomes `"2-cpus--force"`).
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Writes one figure's timeline windows (every curve point) as a CSV.
+fn write_timeline(dir: &str, figure: &str, outcome: &Outcome) {
+    let rows: Vec<TimelineRows<'_>> = outcome
+        .results
+        .iter()
+        .filter(|r| r.job.figure == figure)
+        .map(|r| TimelineRows {
+            curve: &r.job.curve,
+            nodes: r.job.nodes,
+            windows: &r.observations.timeline,
+        })
+        .collect();
+    let out = trace_export::timeline_csv(&rows);
+    let path = format!("{dir}/{figure}_timeline.csv");
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, out)) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}
+
+/// Writes one Chrome trace-event JSON per curve point of a figure.
+fn write_traces(dir: &str, figure: &str, outcome: &Outcome) {
+    for r in outcome.results.iter().filter(|r| r.job.figure == figure) {
+        let out = trace_export::chrome_trace(&r.observations.trace, r.job.nodes);
+        let path = format!(
+            "{dir}/{figure}_{}_n{}.trace.json",
+            slug(&r.job.curve),
+            r.job.nodes
+        );
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, out)) {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
+}
+
 /// Per-figure aggregate of the numbers `--alloc-stats` and `--compare`
 /// work with.
 #[derive(Default, Clone, Copy)]
@@ -410,6 +474,8 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut svg: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut timeline_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut json_path = String::from("BENCH_repro.json");
     let mut i = 0;
@@ -447,9 +513,17 @@ fn main() {
                 i += 1;
                 svg = Some(arg_value(&args, i, "--svg").to_string());
             }
+            "--trace" => {
+                i += 1;
+                trace_dir = Some(arg_value(&args, i, "--trace").to_string());
+            }
+            "--timeline" => {
+                i += 1;
+                timeline_dir = Some(arg_value(&args, i, "--timeline").to_string());
+            }
             other if other.starts_with('-') => fail(&format!(
                 "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, \
-                 --profile, --alloc-stats, --compare, -v)"
+                 --trace, --timeline, --profile, --alloc-stats, --compare, -v)"
             )),
             other => which.push(other.to_string()),
         }
@@ -502,7 +576,13 @@ fn main() {
             ),
         })
         .collect();
-    let mut harness = Harness::new().progress(true);
+    // Observation stays all-off unless asked for, keeping the engine on
+    // the exact unobserved execution path (and stdout byte-identical).
+    let observe = Observe {
+        timeline_every: timeline_dir.as_ref().map(|_| Observe::DEFAULT_WINDOW),
+        trace: trace_dir.is_some(),
+    };
+    let mut harness = Harness::new().progress(true).observe(observe);
     if let Some(n) = jobs {
         harness = harness.workers(n);
     }
@@ -518,6 +598,12 @@ fn main() {
         }
         if let Some(dir) = &svg {
             write_svg(dir, fig, series);
+        }
+        if let Some(dir) = &timeline_dir {
+            write_timeline(dir, fig.name, &outcome);
+        }
+        if let Some(dir) = &trace_dir {
+            write_traces(dir, fig.name, &outcome);
         }
         if verbose {
             print_details(series);
@@ -584,7 +670,34 @@ fn main() {
     }
 
     if !outcome.results.is_empty() {
-        if let Err(e) = write_artifact(Path::new(&json_path), &outcome.artifact()) {
+        // Stamp the artifact with build/run provenance (captured by the
+        // crate's build script) so a saved BENCH_repro.json records
+        // exactly which build and command produced it.
+        let mut doc = outcome.artifact();
+        doc.set(
+            "provenance",
+            Json::obj(vec![
+                ("git_revision", Json::Str(env!("REPRO_GIT_REVISION").into())),
+                (
+                    "rustc_version",
+                    Json::Str(env!("REPRO_RUSTC_VERSION").into()),
+                ),
+                (
+                    "build_profile",
+                    Json::Str(env!("REPRO_BUILD_PROFILE").into()),
+                ),
+                (
+                    "command_line",
+                    Json::Str(
+                        std::iter::once("repro".to_string())
+                            .chain(args.iter().cloned())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                ),
+            ]),
+        );
+        if let Err(e) = write_artifact(Path::new(&json_path), &doc) {
             fail(&format!("cannot write {json_path}: {e}"));
         }
         eprintln!(

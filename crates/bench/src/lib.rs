@@ -1,10 +1,13 @@
 //! Benchmark and reproduction harness for the `dbshare` workspace:
 //! the `repro` binary regenerating every figure, wall-clock benches on
 //! the dependency-free [`minibench`] runner, and a dependency-free
-//! [`chart`] SVG renderer for drawing the figures.
+//! [`chart`] SVG renderer for drawing the figures, plus
+//! [`trace_export`] turning run observations into Perfetto-loadable
+//! trace JSON and per-figure timeline CSV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
 pub mod minibench;
+pub mod trace_export;

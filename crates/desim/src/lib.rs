@@ -24,7 +24,9 @@
 //! * [`fxhash`] — a fast deterministic hasher ([`fxhash::FxHashMap`] /
 //!   [`fxhash::FxHashSet`]) for the per-event state lookups,
 //! * [`InlineVec`] — an inline small-vector for per-event element
-//!   lists, so steady state never touches the global allocator.
+//!   lists, so steady state never touches the global allocator,
+//! * [`trace`] — structured, sim-time-stamped event records and sinks
+//!   for deterministic (diffable) execution traces.
 //!
 //! # Example
 //!
@@ -70,6 +72,7 @@ pub mod fxhash;
 pub mod lru;
 pub mod smallvec;
 pub mod stats;
+pub mod trace;
 
 pub use calendar::Calendar;
 pub use rng::Rng;

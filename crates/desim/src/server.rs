@@ -102,6 +102,14 @@ impl MultiServer {
         }
     }
 
+    /// Cumulative busy server-time accrued so far (full service is
+    /// accrued at request time — see [`offer`](MultiServer::offer)).
+    /// Snapshot-friendly: difference two readings to attribute busy
+    /// time to a window (attributed to the *issue* window).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
     /// Utilization over `[0, now]`: busy server-time divided by
     /// available server-time.
     pub fn utilization(&self, now: SimTime) -> f64 {
@@ -255,6 +263,13 @@ impl<T> Resource<T> {
         } else {
             self.total_wait / self.grants
         }
+    }
+
+    /// The busy-units integral (unit-seconds) up to `now`, without
+    /// mutating the accumulator. Difference two readings for the busy
+    /// time inside an arbitrary window.
+    pub fn busy_integral_at(&self, now: SimTime) -> f64 {
+        self.busy_integral.integral_at(now)
     }
 
     /// Time-averaged number of busy units over `[stats start, now]`,

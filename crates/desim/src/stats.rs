@@ -159,6 +159,19 @@ impl TimeWeighted {
         self.current = value;
     }
 
+    /// The accumulated integral (value × seconds) up to `now`, without
+    /// mutating the accumulator. Snapshot-friendly: two calls at
+    /// different instants can be differenced to get the integral over
+    /// an arbitrary window.
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        let pending = if now > self.last_update {
+            self.current * (now - self.last_update).as_secs_f64()
+        } else {
+            0.0
+        };
+        self.integral + pending
+    }
+
     /// The time-weighted mean over `[window start, now]`.
     pub fn mean(&self, now: SimTime) -> f64 {
         let pending = if now > self.last_update {

@@ -150,8 +150,10 @@ mod tests {
                     curve: "c".into(),
                     nodes: 1,
                     spec,
+                    observe: crate::Observe::default(),
                 },
                 report: spec.execute(),
+                observations: crate::Observations::default(),
                 wall_secs: 0.25,
             })
             .collect();

@@ -37,6 +37,18 @@ impl Json {
         )
     }
 
+    /// Sets `key` to `value` in an object, replacing an existing entry
+    /// in place or appending a new one. No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(fields) = self {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                fields.push((key.to_string(), value));
+            }
+        }
+    }
+
     /// Looks up `key` in an object; `None` for absent keys or
     /// non-objects.
     pub fn get(&self, key: &str) -> Option<&Json> {

@@ -36,6 +36,8 @@ pub use artifact::{fingerprint, write_artifact, SCHEMA};
 pub use json::Json;
 pub use pool::{run_jobs, Job, JobResult};
 
+pub use dbshare_sim::{Observations, Observe, TimelineWindow};
+
 use dbshare_sim::experiments::{CurveGrid, Series};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -102,6 +104,7 @@ impl Outcome {
 pub struct Harness {
     workers: usize,
     progress: bool,
+    observe: Observe,
 }
 
 impl Default for Harness {
@@ -116,6 +119,7 @@ impl Harness {
         Harness {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             progress: false,
+            observe: Observe::default(),
         }
     }
 
@@ -128,6 +132,14 @@ impl Harness {
     /// Enables per-job progress lines on stderr.
     pub fn progress(mut self, on: bool) -> Self {
         self.progress = on;
+        self
+    }
+
+    /// Sets the observation settings every job runs with. The default
+    /// (all off) leaves the execution path identical to an unobserved
+    /// run; results carry the collected [`Observations`] per job.
+    pub fn observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
         self
     }
 
@@ -151,6 +163,7 @@ impl Harness {
                         curve: curve.label.clone(),
                         nodes,
                         spec,
+                        observe: self.observe,
                     });
                 }
             }

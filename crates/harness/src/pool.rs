@@ -10,7 +10,7 @@
 
 use crate::alloc_track;
 use dbshare_sim::experiments::RunSpec;
-use dbshare_sim::RunReport;
+use dbshare_sim::{Observations, Observe, RunReport};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -29,6 +29,9 @@ pub struct Job {
     pub nodes: u16,
     /// The full run description; executing it is the actual work.
     pub spec: RunSpec,
+    /// Observation settings for the run. The default (all off) keeps
+    /// the execution path identical to an unobserved run.
+    pub observe: Observe,
 }
 
 /// A completed job: the input [`Job`], the simulator's report, and the
@@ -39,6 +42,9 @@ pub struct JobResult {
     pub job: Job,
     /// The simulation's full metrics report.
     pub report: RunReport,
+    /// Timeline windows and trace events, empty unless the job's
+    /// [`Observe`] requested them.
+    pub observations: Observations,
     /// Host wall-clock seconds spent executing the job.
     pub wall_secs: f64,
 }
@@ -73,13 +79,18 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult
                 let allocs0 = alloc_track::thread_allocs();
                 let bytes0 = alloc_track::thread_alloc_bytes();
                 let start = Instant::now();
-                let mut report = job.spec.execute();
+                let (mut report, observations) = if job.observe.enabled() {
+                    job.spec.execute_observed(job.observe)
+                } else {
+                    (job.spec.execute(), Observations::default())
+                };
                 let wall_secs = start.elapsed().as_secs_f64();
                 report.profile.host_allocs = alloc_track::thread_allocs() - allocs0;
                 report.profile.host_alloc_bytes = alloc_track::thread_alloc_bytes() - bytes0;
                 let result = JobResult {
                     job,
                     report,
+                    observations,
                     wall_secs,
                 };
                 if tx.send((index, result)).is_err() {
@@ -129,6 +140,7 @@ mod tests {
                     curve: format!("curve{}", i % 2),
                     nodes,
                     spec: RunSpec::DebitCredit(DebitCreditRun::baseline(nodes, TINY)),
+                    observe: Observe::default(),
                 }
             })
             .collect()

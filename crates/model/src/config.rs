@@ -317,6 +317,12 @@ pub struct RunControl {
     /// system never reaches its measured-transaction target — this cap
     /// ends the run anyway and the report is flagged as truncated.
     pub max_sim_secs: Option<f64>,
+    /// Optional no-progress watchdog threshold in simulated seconds.
+    /// When set and no transaction commits for this long while some
+    /// are live, the engine dumps diagnostic state to stderr (and
+    /// emits a `Watchdog` trace event if tracing is on). `None`
+    /// disables the watchdog entirely.
+    pub watchdog_secs: Option<f64>,
 }
 
 impl Default for RunControl {
@@ -326,6 +332,7 @@ impl Default for RunControl {
             warmup_txns: 2_000,
             measured_txns: 20_000,
             max_sim_secs: None,
+            watchdog_secs: None,
         }
     }
 }

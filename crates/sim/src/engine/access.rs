@@ -5,6 +5,7 @@
 use super::{Cont, Engine, Job, Msg, MsgBody, PendingWrite, Phase, ReqCtx};
 use dbshare_lockmgr::{LockMode, LockReply};
 use dbshare_model::{AccessMode, CouplingMode, NodeId, PageId, TxnId};
+use desim::trace::TraceEventKind;
 use desim::SimTime;
 
 impl Engine {
@@ -57,6 +58,15 @@ impl Engine {
             return;
         }
         self.counters.lock_requests += 1;
+        let node = self.txn(id).node;
+        self.emit(
+            now,
+            TraceEventKind::LockRequest,
+            node,
+            Some(id),
+            Some(page),
+            0,
+        );
         match self.cfg.coupling {
             CouplingMode::GemLocking | CouplingMode::LockEngine => {
                 let svc = self.fixed(self.cfg.gem.lock_op_instr);
@@ -119,6 +129,7 @@ impl Engine {
                 self.counters.lock_waits += 1;
                 self.txn_mut(id)
                     .begin_wait(now, Phase::LockWait, Some(page));
+                self.emit(now, TraceEventKind::LockWait, node, Some(id), Some(page), 0);
             }
         }
     }
@@ -130,10 +141,24 @@ impl Engine {
             return;
         };
         let Some(page) = t.waiting_page else { return };
+        let node = t.node;
+        let waited = if t.phase == Phase::LockWait {
+            (now - t.wait_since).as_nanos()
+        } else {
+            0
+        };
         t.end_lock_wait(now);
         if !t.held_gem.contains(&page) {
             t.held_gem.push(page);
         }
+        self.emit(
+            now,
+            TraceEventKind::LockGrant,
+            node,
+            Some(id),
+            Some(page),
+            waited,
+        );
         let info = self.glt.info(page);
         self.txn_mut(id).page_seqnos.insert(page, info.seqno);
         self.acquire_page(now, id, info.seqno, info.owner, true);
@@ -222,6 +247,7 @@ impl Engine {
         let cached = self.nodes[node.index()].buffer.cached_seqno(page);
         self.txn_mut(id)
             .begin_wait(now, Phase::LockWait, Some(page));
+        self.emit(now, TraceEventKind::LockWait, node, Some(id), Some(page), 0);
         self.send_msg(
             now,
             Msg {
@@ -271,6 +297,7 @@ impl Engine {
             self.counters.lock_waits += 1;
             self.txn_mut(id)
                 .begin_wait(now, Phase::LockWait, Some(page));
+            self.emit(now, TraceEventKind::LockWait, node, Some(id), Some(page), 0);
             for target in out.revoke {
                 self.send_msg(
                     now,
@@ -304,6 +331,7 @@ impl Engine {
                 self.counters.lock_waits += 1;
                 self.txn_mut(id)
                     .begin_wait(now, Phase::LockWait, Some(page));
+                self.emit(now, TraceEventKind::LockWait, node, Some(id), Some(page), 0);
             }
         }
     }
@@ -312,6 +340,11 @@ impl Engine {
     pub(crate) fn pcl_local_grant_exec(&mut self, now: SimTime, id: TxnId, page: PageId) {
         let Some(t) = self.txns.get_mut(&id) else {
             return;
+        };
+        let waited = if t.phase == Phase::LockWait {
+            (now - t.wait_since).as_nanos()
+        } else {
+            0
         };
         t.end_lock_wait(now);
         let node = t.node;
@@ -332,6 +365,14 @@ impl Engine {
         }
         let seqno = self.gla[node.index()].seqno(page);
         self.txn_mut(id).page_seqnos.insert(page, seqno);
+        self.emit(
+            now,
+            TraceEventKind::LockGrant,
+            node,
+            Some(id),
+            Some(page),
+            waited,
+        );
         self.acquire_page(now, id, seqno, None, true);
     }
 
@@ -464,8 +505,10 @@ impl Engine {
     /// The I/O-initiation CPU finished: issue the device read.
     pub(crate) fn storage_read_issue(&mut self, now: SimTime, id: TxnId) {
         let Some(t) = self.txns.get(&id) else { return };
+        let node = t.node;
         let page = t.spec.refs()[t.step].page;
         self.counters.storage_reads += 1;
+        self.emit(now, TraceEventKind::PageRead, node, Some(id), Some(page), 0);
         let served = self.storage.read_page(now, page);
         self.cal.schedule(
             served.done,
@@ -482,15 +525,30 @@ impl Engine {
         let node = t.node;
         let page = t.spec.refs()[t.step].page;
         let seqno = t.page_seqnos.get(&page).copied().unwrap_or(0);
+        let waited = if matches!(t.phase, Phase::PageWait | Phase::CommitIo) && now >= t.wait_since
+        {
+            (now - t.wait_since).as_nanos()
+        } else {
+            0
+        };
         if self.storage.is_gem_resident(page) {
             // accounted as a storage read for statistics parity
             self.counters.storage_reads += 1;
+            self.emit(now, TraceEventKind::PageRead, node, Some(id), Some(page), 0);
         }
         let evicted = self.nodes[node.index()].buffer.insert(page, seqno, false);
         if let Some((p, _)) = evicted {
             self.start_evict_write(now, node, p);
         }
         self.txn_mut(id).end_io_wait(now);
+        self.emit(
+            now,
+            TraceEventKind::PageReadDone,
+            node,
+            Some(id),
+            Some(page),
+            waited,
+        );
         self.finish_access(now, id);
     }
 

@@ -7,6 +7,7 @@ use super::txn::CommitWrite;
 use super::{Cont, Engine, Job, Msg, MsgBody, Phase};
 use dbshare_lockmgr::LockMode;
 use dbshare_model::{NodeId, PageId, TxnId, UpdateStrategy};
+use desim::trace::TraceEventKind;
 use desim::SimTime;
 
 impl Engine {
@@ -137,6 +138,7 @@ impl Engine {
             }
         };
         self.txn_mut(id).begin_wait(now, Phase::CommitIo, None);
+        self.emit(now, TraceEventKind::CommitIo, node, Some(id), w.page, 0);
         self.cal.schedule(
             served.done,
             super::Event::IoDone {
@@ -150,7 +152,21 @@ impl Engine {
         let Some(t) = self.txns.get_mut(&id) else {
             return;
         };
+        let node = t.node;
+        let waited = if t.phase == Phase::CommitIo && now >= t.wait_since {
+            (now - t.wait_since).as_nanos()
+        } else {
+            0
+        };
         t.end_io_wait(now);
+        self.emit(
+            now,
+            TraceEventKind::CommitIoDone,
+            node,
+            Some(id),
+            None,
+            waited,
+        );
         self.commit_write_init(now, id, idx + 1);
     }
 
@@ -224,8 +240,17 @@ impl Engine {
                 self.start_evict_write(now, node, victim);
             }
         }
+        let released = self.txn(id).held_gem.len() as u64;
         let grants = self.glt.release_all(id);
         self.txn_mut(id).held_gem.clear();
+        self.emit(
+            now,
+            TraceEventKind::LockRelease,
+            node,
+            Some(id),
+            None,
+            released,
+        );
         self.process_gem_grants(now, grants);
         self.txn_complete(now, id);
     }
@@ -239,6 +264,7 @@ impl Engine {
     pub(crate) fn pcl_release_exec(&mut self, now: SimTime, id: TxnId) {
         let Some(t) = self.txns.get(&id) else { return };
         let node = t.node;
+        let released = (t.held_gla.len() + t.held_ra.len()) as u64;
         let noforce = self.is_noforce();
 
         // Publish modifications in the local buffer. Ownership of pages
@@ -279,6 +305,14 @@ impl Engine {
             }
         }
         self.txn_mut(id).held_ra.clear();
+        self.emit(
+            now,
+            TraceEventKind::LockRelease,
+            node,
+            Some(id),
+            None,
+            released,
+        );
 
         // Release messages to remote authorities, one per authority in
         // NodeId order, pages riding along in held-lock order. The
@@ -424,6 +458,14 @@ impl Engine {
         }
         if with_page {
             self.counters.page_transfers += 1;
+            self.emit(
+                now,
+                TraceEventKind::PageTransfer,
+                gla_node,
+                Some(txn),
+                Some(ctx.page),
+                u64::from(ctx.from.raw()),
+            );
         }
         self.send_msg(
             now,

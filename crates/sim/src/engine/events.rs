@@ -56,6 +56,9 @@ pub(crate) enum Event {
     },
     /// Periodic deadlock / timeout scan.
     DeadlockScan,
+    /// Periodic timeline sampling tick (scheduled only when a timeline
+    /// is requested — an unobserved run never sees this event).
+    TimelineSample,
     /// Injected node failure.
     NodeCrash {
         /// The failing node.

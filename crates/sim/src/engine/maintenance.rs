@@ -7,6 +7,7 @@ use crate::metrics::RunReport;
 use dbshare_lockmgr::deadlock::{choose_victim, find_cycle};
 use dbshare_model::{CouplingMode, NodeId, PageId, TxnId};
 use dbshare_node::buffer::BufferCounters;
+use desim::trace::TraceEventKind;
 use desim::{SimDuration, SimTime};
 
 /// Why a victim was aborted.
@@ -26,6 +27,7 @@ impl Engine {
     /// no transaction waits for it).
     pub(crate) fn start_evict_write(&mut self, now: SimTime, node: NodeId, page: PageId) {
         self.counters.evict_writes += 1;
+        self.emit(now, TraceEventKind::PageFlush, node, None, Some(page), 0);
         if self.storage.is_gem_resident(page) {
             let svc = self.fixed(self.cfg.gem.io_init_instr);
             self.dispatch(
@@ -133,6 +135,7 @@ impl Engine {
         if std::env::var_os("DBSHARE_AUDIT").is_some() {
             self.audit_grants(now);
         }
+        self.check_watchdog(now);
         let mut guard = 0u32;
         loop {
             let mut edges = match self.cfg.coupling {
@@ -223,6 +226,40 @@ impl Engine {
         }
     }
 
+    /// No-progress watchdog: when `RunControl::watchdog_secs` is set
+    /// and no transaction has committed for that long while some are
+    /// live, emit a `Watchdog` trace event and dump diagnostic state
+    /// to stderr. Firing rearms the quiet-period clock, so a fully
+    /// wedged run produces one dump per threshold interval, not one
+    /// per scan.
+    fn check_watchdog(&mut self, now: SimTime) {
+        let Some(secs) = self.cfg.run.watchdog_secs else {
+            return;
+        };
+        if self.txns.is_empty() {
+            return;
+        }
+        let since = self.last_commit_at.max(self.last_watchdog);
+        if (now - since).as_secs_f64() < secs {
+            return;
+        }
+        self.last_watchdog = now;
+        let live = self.txns.len() as u64;
+        self.emit(
+            now,
+            TraceEventKind::Watchdog,
+            NodeId::new(0),
+            None,
+            None,
+            live,
+        );
+        eprintln!(
+            "WATCHDOG at {now}: no commit for {:.1}s with {live} live transactions",
+            (now - self.last_commit_at).as_secs_f64()
+        );
+        self.dump_stuck(now);
+    }
+
     /// Aborts `victim` (it is lock-waiting): all protocol state is
     /// cleaned up, waiters it blocked are woken, and the transaction
     /// restarts after a short delay. State cleanup at remote lock
@@ -237,6 +274,19 @@ impl Engine {
             AbortReason::Timeout => self.counters.timeout_aborts += 1,
             AbortReason::Crash => self.counters.crash_aborts += 1,
         }
+        let reason_arg = match reason {
+            AbortReason::Deadlock => 0,
+            AbortReason::Timeout => 1,
+            AbortReason::Crash => 2,
+        };
+        self.emit(
+            now,
+            TraceEventKind::TxnAbort,
+            t.node,
+            Some(victim),
+            t.waiting_page,
+            reason_arg,
+        );
         match self.cfg.coupling {
             CouplingMode::GemLocking | CouplingMode::LockEngine => {
                 if let Some(p) = t.waiting_page {
@@ -320,8 +370,27 @@ impl Engine {
             self.txns.len()
         );
         for (i, ctx) in self.nodes.iter().enumerate() {
+            // Per-node wait-class depths and the oldest live arrival:
+            // shows *where* a stalled node's transactions sit.
+            let mut input = 0usize;
+            let mut lockwait = 0usize;
+            let mut iowait = 0usize;
+            let mut oldest: Option<SimTime> = None;
+            for t in self.txns.values() {
+                if t.node.index() != i {
+                    continue;
+                }
+                match t.phase {
+                    Phase::InputQueue => input += 1,
+                    Phase::LockWait => lockwait += 1,
+                    Phase::PageWait | Phase::CommitIo => iowait += 1,
+                    Phase::Running => {}
+                }
+                oldest = Some(oldest.map_or(t.arrival, |o| o.min(t.arrival)));
+            }
+            let oldest_age = oldest.map_or(0.0, |a| (now - a).as_secs_f64());
             eprintln!(
-                "  NODE {i}: cpus in_use={} queue={} mpl in_use={} queue={}",
+                "  NODE {i}: cpus in_use={} queue={} mpl in_use={} queue={} input={input} lockwait={lockwait} iowait={iowait} oldest_txn_age={oldest_age:.1}s",
                 ctx.cpus.in_use(),
                 ctx.cpus.queue_len(),
                 ctx.mpl.in_use(),

@@ -1,12 +1,25 @@
 //! Message handling: the communication subsystem (§3.2) plus the
 //! receiver-side protocol actions of PCL and the page-transfer paths.
 
-use super::{Cont, Engine, Job, Msg, MsgBody, PendingWrite, ReqCtx};
+use super::{Cont, Engine, Job, Msg, MsgBody, PendingWrite, Phase, ReqCtx};
 use dbshare_lockmgr::pcl::RevokeAction;
 use dbshare_lockmgr::{LockMode, LockReply};
 use dbshare_model::{NodeId, PageId, PageTransferMode, TxnId};
 use dbshare_node::Lookup;
+use desim::trace::TraceEventKind;
 use desim::SimTime;
+
+/// Transaction a message is about, for trace attribution.
+fn msg_txn(body: &MsgBody) -> Option<TxnId> {
+    match body {
+        MsgBody::LockReq { txn, .. }
+        | MsgBody::LockGrant { txn, .. }
+        | MsgBody::Release { txn, .. }
+        | MsgBody::PageReq { txn, .. }
+        | MsgBody::PageReply { txn, .. } => Some(*txn),
+        MsgBody::Revoke { writer, .. } | MsgBody::RevokeAck { writer, .. } => Some(*writer),
+    }
+}
 
 impl Engine {
     /// Queues the send-side CPU work for `msg` on the sending node.
@@ -49,6 +62,14 @@ impl Engine {
             self.cfg.comm.short_msg_bytes
         };
         let delivered = self.storage.send(now, bytes);
+        self.emit(
+            now,
+            TraceEventKind::MsgSend,
+            msg.from,
+            msg_txn(&msg.body),
+            None,
+            u64::from(msg.to.raw()),
+        );
         self.cal
             .schedule(delivered, super::Event::Delivered { msg });
         if let Some(id) = last_of {
@@ -91,6 +112,14 @@ impl Engine {
         };
         let svc = self.fixed(instr);
         let node = msg.to;
+        self.emit(
+            now,
+            TraceEventKind::MsgRecv,
+            node,
+            msg_txn(&msg.body),
+            None,
+            u64::from(msg.from.raw()),
+        );
         self.dispatch(
             now,
             node,
@@ -241,6 +270,11 @@ impl Engine {
         let Some(t) = self.txns.get_mut(&txn) else {
             return; // aborted while the grant was in flight
         };
+        let waited = if t.phase == Phase::LockWait {
+            (now - t.wait_since).as_nanos()
+        } else {
+            0
+        };
         t.end_lock_wait(now);
         if let Some(h) = t.held_gla.iter_mut().find(|h| h.1 == page) {
             if mode == LockMode::Write {
@@ -251,6 +285,14 @@ impl Engine {
             t.held_gla.push((gla, page, mode));
         }
         t.page_seqnos.insert(page, seqno);
+        self.emit(
+            now,
+            TraceEventKind::LockGrant,
+            node,
+            Some(txn),
+            Some(page),
+            waited,
+        );
         if ra {
             self.nodes[node.index()].ra.grant_authorization(page);
         }
@@ -347,6 +389,14 @@ impl Engine {
             }
             Some(seqno) => {
                 self.counters.page_transfers += 1;
+                self.emit(
+                    now,
+                    TraceEventKind::PageTransfer,
+                    owner,
+                    Some(txn),
+                    Some(page),
+                    u64::from(from.raw()),
+                );
                 self.send_msg(
                     now,
                     Msg {
@@ -395,6 +445,14 @@ impl Engine {
         let MsgBody::PageReq { txn, page } = msg.body else {
             return;
         };
+        self.emit(
+            now,
+            TraceEventKind::PageTransfer,
+            msg.from,
+            Some(txn),
+            Some(page),
+            u64::from(msg.to.raw()),
+        );
         self.send_msg(
             now,
             Msg {
@@ -463,6 +521,7 @@ impl Engine {
             return;
         };
         let node = t.node;
+        let waited = (now - t.wait_since).as_nanos();
         self.metrics
             .page_req_delay
             .record((now - t.wait_since).as_millis_f64());
@@ -471,6 +530,14 @@ impl Engine {
         if let Some((victim, _)) = evicted {
             self.start_evict_write(now, node, victim);
         }
+        self.emit(
+            now,
+            TraceEventKind::PageReadDone,
+            node,
+            Some(id),
+            Some(page),
+            waited,
+        );
         self.finish_access(now, id);
     }
 

@@ -6,14 +6,17 @@ mod commit;
 mod events;
 mod maintenance;
 mod messages;
+mod telemetry;
 mod txn;
 mod txntable;
 
 pub(crate) use events::{Cont, Event, Job, Msg, MsgBody};
+pub(crate) use telemetry::TimelineState;
 pub(crate) use txn::{Phase, Txn};
 pub(crate) use txntable::TxnTable;
 
 use crate::metrics::{Counters, Metrics, RunProfile, RunReport};
+use crate::observe::Observe;
 use dbshare_lockmgr::pcl::{GlaState, RaTable};
 use dbshare_lockmgr::{GemLockTable, LockMode};
 use dbshare_model::config::ConfigError;
@@ -24,6 +27,7 @@ use dbshare_storage::globallog::LocalLog;
 use dbshare_storage::StorageSubsystem;
 use dbshare_workload::Workload;
 use desim::fxhash::{self, FxHashMap};
+use desim::trace::{TraceEventKind, TraceSink};
 use desim::{Calendar, Resource, Rng, SimDuration, SimTime};
 
 /// Interval between deadlock / timeout scans.
@@ -117,6 +121,18 @@ pub struct Engine {
     /// (§2 / \[Ra91a\]).
     pub(crate) local_logs: Vec<LocalLog>,
     pub(crate) mean_arrival_gap_us: f64,
+    /// Observation configuration (default: observe nothing).
+    pub(crate) observe: Observe,
+    /// Trace sink, installed only when tracing is enabled; every
+    /// emission is behind a single `is_some()` branch.
+    pub(crate) tracer: Option<Box<dyn TraceSink>>,
+    /// Timeline sampler state, armed at end of warm-up when requested.
+    pub(crate) timeline: Option<TimelineState>,
+    /// Instant of the most recent commit (any node) — the no-progress
+    /// watchdog's progress signal.
+    pub(crate) last_commit_at: SimTime,
+    /// When the watchdog last fired (suppresses re-firing every scan).
+    pub(crate) last_watchdog: SimTime,
 }
 
 impl Engine {
@@ -194,11 +210,24 @@ impl Engine {
                 .collect(),
             cfg,
             mean_arrival_gap_us,
+            observe: Observe::default(),
+            tracer: None,
+            timeline: None,
+            last_commit_at: SimTime::ZERO,
+            last_watchdog: SimTime::ZERO,
         })
     }
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> RunReport {
+        let now = self.run_loop();
+        self.build_report(now)
+    }
+
+    /// The event loop shared by [`run`](Engine::run) and
+    /// [`run_observed`](Engine::run_observed); returns the final
+    /// simulated instant.
+    pub(crate) fn run_loop(&mut self) -> SimTime {
         self.cal.schedule(SimTime::ZERO, Event::Arrival);
         self.cal
             .schedule(SimTime::ZERO + DEADLOCK_SCAN_EVERY, Event::DeadlockScan);
@@ -214,6 +243,7 @@ impl Engine {
         // If there is no warm-up, measurement starts immediately.
         if self.cfg.run.warmup_txns == 0 {
             self.warmed = true;
+            self.arm_timeline(SimTime::ZERO);
         }
         let deadline = self
             .cfg
@@ -236,7 +266,7 @@ impl Engine {
         if std::env::var_os("DBSHARE_DEBUG_STUCK").is_some() {
             self.dump_stuck(now);
         }
-        self.build_report(now)
+        now
     }
 
     fn on_event(&mut self, now: SimTime, ev: Event) {
@@ -249,6 +279,7 @@ impl Engine {
             Event::Delivered { .. } => self.profile.delivered += 1,
             Event::DeadlockScan => self.profile.deadlock_scans += 1,
             Event::NodeCrash { .. } | Event::NodeRecovered { .. } => self.profile.crash_events += 1,
+            Event::TimelineSample => self.profile.timeline_samples += 1,
         }
         match ev {
             Event::Arrival => {
@@ -282,6 +313,7 @@ impl Engine {
             }
             Event::NodeCrash { node } => self.node_crash(now, node),
             Event::NodeRecovered { node } => self.node_recovered(now, node),
+            Event::TimelineSample => self.timeline_tick(now),
         }
     }
 
@@ -431,6 +463,14 @@ impl Engine {
                 t.admitted = now;
                 t.phase = Phase::Running;
             }
+            self.emit(
+                now,
+                TraceEventKind::TxnAdmit,
+                node,
+                Some(id),
+                None,
+                (now - arrival).as_nanos(),
+            );
             self.start_txn(now, id);
         }
     }
@@ -475,12 +515,29 @@ impl Engine {
             self.local_logs[node.index()].append(now, id, modified);
         }
         self.counters.committed += 1;
+        self.last_commit_at = now;
+        self.emit(
+            now,
+            TraceEventKind::TxnCommit,
+            node,
+            Some(id),
+            None,
+            (now - arrival).as_nanos(),
+        );
         if self.warmed {
             self.measured += 1;
             self.metrics.record_commit_time(now);
             self.metrics.record_completion(
                 now - arrival,
                 spec.refs().len(),
+                admitted - arrival,
+                lock_wait,
+                io_wait,
+                cpu_wait,
+                cpu_service,
+            );
+            self.timeline_note_commit(
+                now - arrival,
                 admitted - arrival,
                 lock_wait,
                 io_wait,
@@ -496,9 +553,21 @@ impl Engine {
         self.spare_specs.push(spec);
         if let Some((next, since)) = self.nodes[node.index()].mpl.release(now) {
             let _ = since;
+            let mut next_arrival = None;
             if let Some(n) = self.txns.get_mut(&next) {
                 n.admitted = now;
                 n.phase = Phase::Running;
+                next_arrival = Some(n.arrival);
+            }
+            if let Some(arr) = next_arrival {
+                self.emit(
+                    now,
+                    TraceEventKind::TxnAdmit,
+                    node,
+                    Some(next),
+                    None,
+                    (now - arr).as_nanos(),
+                );
                 self.start_txn(now, next);
             }
         }
@@ -519,6 +588,7 @@ impl Engine {
             self.base_gla[i] = self.gla[i].request_counts();
             self.base_ra[i] = ctx.ra.local_grants();
         }
+        self.arm_timeline(now);
     }
 
     // ------------------------------------------------------------------

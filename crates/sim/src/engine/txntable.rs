@@ -165,6 +165,11 @@ impl TxnTable {
         self.live
     }
 
+    /// True if no transactions are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
     /// Live transactions in slot order (deterministic; not id order).
     /// Retired storage waiting in a slot is skipped: its id maps to
     /// `NIL`, exactly like a removed one's.

@@ -5,7 +5,7 @@
 //! [`RunReport`]s. The `repro` binary in `dbshare-bench` prints them;
 //! integration tests assert the qualitative shapes the paper reports.
 
-use crate::{Engine, RunReport};
+use crate::{Engine, Observations, Observe, RunReport};
 use dbshare_model::{
     CouplingMode, LogStorage, PageTransferMode, RoutingStrategy, StorageAllocation, SystemConfig,
     UpdateStrategy,
@@ -107,13 +107,31 @@ impl RunSpec {
     /// Executes the run. Deterministic: equal specs produce equal
     /// reports on every invocation, in any process, on any thread.
     pub fn execute(&self) -> RunReport {
+        self.engine().run()
+    }
+
+    /// Executes the run with the given observation settings, returning
+    /// the report together with the collected timeline and trace. The
+    /// report is identical to [`execute`](RunSpec::execute) — and so
+    /// are the observations across repeated invocations, which is what
+    /// makes trace files diffable.
+    pub fn execute_observed(&self, observe: Observe) -> (RunReport, Observations) {
+        let mut engine = self.engine();
+        engine.set_observe(observe);
+        engine.run_observed()
+    }
+
+    /// Builds the configured engine without running it.
+    fn engine(&self) -> Engine {
         match *self {
-            RunSpec::DebitCredit(p) => debit_credit_run(p),
+            RunSpec::DebitCredit(p) => debit_credit_engine_at(p, 100.0, |_| {}),
             RunSpec::LockEngine {
                 params,
                 op_service_us,
-            } => debit_credit_run_with(params, |cfg| cfg.lock_engine.op_service_us = op_service_us),
-            RunSpec::Trace(p) => trace_run(p),
+            } => debit_credit_engine_at(params, 100.0, |cfg| {
+                cfg.lock_engine.op_service_us = op_service_us
+            }),
+            RunSpec::Trace(p) => trace_engine(p),
         }
     }
 
@@ -239,6 +257,16 @@ pub fn debit_credit_run_at(
     tps: f64,
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> RunReport {
+    debit_credit_engine_at(p, tps, tweak).run()
+}
+
+/// Builds the fully configured engine for a debit-credit run without
+/// running it (observed execution attaches its sinks first).
+fn debit_credit_engine_at(
+    p: DebitCreditRun,
+    tps: f64,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> Engine {
     let mut cfg = SystemConfig::debit_credit(p.nodes);
     cfg.arrival_tps_per_node = tps;
     cfg.coupling = p.coupling;
@@ -291,13 +319,9 @@ pub fn debit_credit_run_at(
     if p.central_lock_manager {
         let partitions = cfg.partitions.len();
         let central = WithGlaMap::new(wl, dbshare_model::gla::GlaMap::central(p.nodes, partitions));
-        return Engine::new(cfg, Box::new(central))
-            .expect("valid experiment configuration")
-            .run();
+        return Engine::new(cfg, Box::new(central)).expect("valid experiment configuration");
     }
-    Engine::new(cfg, Box::new(wl))
-        .expect("valid experiment configuration")
-        .run()
+    Engine::new(cfg, Box::new(wl)).expect("valid experiment configuration")
 }
 
 fn disks_of(s: &StorageAllocation) -> u32 {
@@ -556,6 +580,11 @@ pub struct TraceRun {
 /// Executes one trace-driven configuration: 50 TPS per node, buffer
 /// 1000, NOFORCE, PCL read optimization enabled (§4.6).
 pub fn trace_run(p: TraceRun) -> RunReport {
+    trace_engine(p).run()
+}
+
+/// Builds the configured engine for [`trace_run`] without running it.
+fn trace_engine(p: TraceRun) -> Engine {
     let mut cfg = SystemConfig::debit_credit(p.nodes);
     cfg.arrival_tps_per_node = 50.0;
     cfg.coupling = p.coupling;
@@ -578,9 +607,7 @@ pub fn trace_run(p: TraceRun) -> RunReport {
     let trace = Trace::synthesize(&TraceGenConfig::default(), p.seed);
     let wl = TraceWorkload::new(trace, p.nodes, p.routing);
     cfg.partitions = Workload::partitions(&wl).to_vec();
-    Engine::new(cfg, Box::new(wl))
-        .expect("valid experiment configuration")
-        .run()
+    Engine::new(cfg, Box::new(wl)).expect("valid experiment configuration")
 }
 
 /// Fig. 4.7 as a grid of pending runs: PCL vs. GEM locking for the

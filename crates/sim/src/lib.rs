@@ -34,6 +34,8 @@ mod engine;
 mod metrics;
 
 pub mod experiments;
+pub mod observe;
 
 pub use engine::Engine;
 pub use metrics::{RunProfile, RunReport};
+pub use observe::{Observations, Observe, TimelineWindow};

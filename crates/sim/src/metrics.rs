@@ -169,6 +169,10 @@ pub struct RunProfile {
     pub deadlock_scans: u64,
     /// `NodeCrash` + `NodeRecovered` failure-injection events.
     pub crash_events: u64,
+    /// Timeline sampling ticks (zero unless a timeline is requested —
+    /// sampling is scheduled only when observation is enabled, so the
+    /// disabled event stream is untouched).
+    pub timeline_samples: u64,
     /// Continuations dispatched into the transaction lifecycle
     /// (BOT, object access, commit initiation).
     pub cont_lifecycle: u64,
@@ -201,6 +205,7 @@ impl RunProfile {
         self.delivered += other.delivered;
         self.deadlock_scans += other.deadlock_scans;
         self.crash_events += other.crash_events;
+        self.timeline_samples += other.timeline_samples;
         self.cont_lifecycle += other.cont_lifecycle;
         self.cont_locking += other.cont_locking;
         self.cont_messaging += other.cont_messaging;
@@ -231,6 +236,7 @@ impl RunProfile {
             + self.delivered
             + self.deadlock_scans
             + self.crash_events
+            + self.timeline_samples
     }
 }
 
@@ -238,7 +244,7 @@ impl fmt::Display for RunProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "  events: {} (arrival {} restart {} cpu {} gem-held {} io {} msg {} scan {} crash {})",
+            "  events: {} (arrival {} restart {} cpu {} gem-held {} io {} msg {} scan {} crash {} sample {})",
             self.events_total(),
             self.arrivals,
             self.restarts,
@@ -248,6 +254,7 @@ impl fmt::Display for RunProfile {
             self.delivered,
             self.deadlock_scans,
             self.crash_events,
+            self.timeline_samples,
         )?;
         write!(
             f,

@@ -446,6 +446,42 @@ impl StorageSubsystem {
         self.stats_since = now;
     }
 
+    /// Cumulative busy-time snapshot of every device class, for
+    /// windowed utilization sampling: difference two snapshots and
+    /// divide by `window × servers`. Busy time accrues at *issue* time
+    /// (see [`MultiServer::offer`]), so a request is attributed to the
+    /// window it was issued in.
+    pub fn busy_snapshot(&self) -> DeviceBusySnapshot {
+        let mut disk_busy = SimDuration::ZERO;
+        let mut disk_servers = 0u32;
+        for p in &self.parts {
+            for d in &p.disks {
+                disk_busy += d.busy_time();
+                disk_servers += d.servers();
+            }
+            if let Some(c) = p.controller.as_ref() {
+                disk_busy += c.busy_time();
+                disk_servers += c.servers();
+            }
+        }
+        let mut log_busy = SimDuration::ZERO;
+        let mut log_servers = 0u32;
+        for l in &self.log {
+            log_busy += l.busy_time();
+            log_servers += l.servers();
+        }
+        DeviceBusySnapshot {
+            gem_busy: self.gem.busy_time(),
+            gem_servers: self.gem.servers(),
+            network_busy: self.network.busy_time(),
+            network_servers: self.network.servers(),
+            log_busy,
+            log_servers,
+            disk_busy,
+            disk_servers,
+        }
+    }
+
     /// Device utilization and traffic report over the statistics window.
     pub fn report(&self, now: SimTime) -> DeviceReport {
         let since = self.stats_since;
@@ -481,6 +517,29 @@ impl StorageSubsystem {
                 .collect(),
         }
     }
+}
+
+/// Cumulative busy-time totals per device class (see
+/// [`StorageSubsystem::busy_snapshot`]). Durations are exact integer
+/// nanoseconds, so differencing snapshots is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceBusySnapshot {
+    /// GEM server busy time.
+    pub gem_busy: SimDuration,
+    /// GEM server count.
+    pub gem_servers: u32,
+    /// Network busy time.
+    pub network_busy: SimDuration,
+    /// Network server count.
+    pub network_servers: u32,
+    /// Summed log-disk busy time across nodes.
+    pub log_busy: SimDuration,
+    /// Total log-disk servers across nodes.
+    pub log_servers: u32,
+    /// Summed database-disk (and cache-controller) busy time.
+    pub disk_busy: SimDuration,
+    /// Total database-disk (and controller) servers.
+    pub disk_servers: u32,
 }
 
 /// Traffic counters for one partition's store.
