@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
 //!       [--csv DIR] [--svg DIR] [--trace DIR] [--timeline DIR]
-//!       [--profile] [--alloc-stats] [--compare OLD.json] [-v]
+//!       [--profile] [--alloc-stats] [--compare OLD.json]
+//!       [--history [DIR]] [--report [PATH]] [--no-history] [-v]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -28,7 +29,19 @@
 //! `host_allocs` / `allocs_per_event`. `--alloc-stats` additionally
 //! prints the per-figure and suite allocs/event to stderr, and
 //! `--compare OLD.json` prints a per-figure delta table (wall seconds,
-//! events/s, allocs/event) between this run and a saved artifact.
+//! events/s, allocs/event) between this run and a saved artifact —
+//! the old file is validated *before* the run starts and a
+//! missing/malformed artifact exits non-zero.
+//!
+//! Every run is also appended to the experiment store — one JSON line
+//! per job under `exphistory/history.jsonl` (`--history DIR` to
+//! relocate, `--no-history` to skip) — with config and metric
+//! fingerprints, build provenance, and host cost. `--history` prints
+//! per-figure trend tables over every recorded run to stderr,
+//! including the delta against the best prior run of the identical
+//! job set; `--report [PATH]` renders the same store as an HTML page
+//! (default `<store dir>/report.html`). The separate `perfgate`
+//! binary turns the store into a CI regression gate.
 //!
 //! `--timeline DIR` turns on the simulator's timeline sampler and
 //! writes one CSV per figure (`<fig>_timeline.csv`: windowed
@@ -43,11 +56,18 @@
 //! stdout and the allocation profile untouched.
 
 use dbshare_bench::chart::Chart;
+use dbshare_bench::html_report;
 use dbshare_bench::trace_export::{self, TimelineRows};
-use dbshare_harness::{write_artifact, CountingAlloc, Harness, Json, Observe, Outcome, Sweep};
+use dbshare_expstore::{
+    figure_runs, gate_check, read_artifact_records, short_rev, FigureRun, Record,
+};
+use dbshare_harness::{
+    write_artifact, CountingAlloc, Harness, History, Json, Observe, Outcome, Provenance, Store,
+    Sweep,
+};
 use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
 use dbshare_sim::{RunProfile, RunReport};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Count every heap allocation the reproduction performs, so
 /// `--alloc-stats` can report per-job allocator traffic and the
@@ -335,7 +355,7 @@ fn write_traces(dir: &str, figure: &str, outcome: &Outcome) {
 struct FigureAgg {
     wall_secs: f64,
     events: u64,
-    allocs: u64,
+    allocs: f64,
 }
 
 impl FigureAgg {
@@ -343,7 +363,7 @@ impl FigureAgg {
         self.events as f64 / self.wall_secs.max(1e-9)
     }
     fn allocs_per_event(&self) -> f64 {
-        self.allocs as f64 / (self.events.max(1)) as f64
+        self.allocs / (self.events.max(1)) as f64
     }
 }
 
@@ -357,7 +377,7 @@ fn aggregate_outcome(outcome: &Outcome, figures: &[&Figure]) -> Vec<(String, Fig
         for res in outcome.results.iter().filter(|r| r.job.figure == fig.name) {
             agg.wall_secs += res.wall_secs;
             agg.events += res.report.events_processed;
-            agg.allocs += res.report.profile.host_allocs;
+            agg.allocs += res.report.profile.host_allocs as f64;
         }
         suite.wall_secs += agg.wall_secs;
         suite.events += agg.events;
@@ -368,39 +388,27 @@ fn aggregate_outcome(outcome: &Outcome, figures: &[&Figure]) -> Vec<(String, Fig
     rows
 }
 
-/// Reads a saved `BENCH_repro.json` into the same per-figure shape.
-/// Artifacts predating the allocation counters read as zero allocs.
-fn load_artifact_aggregates(path: &str) -> Vec<(String, FigureAgg)> {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let doc = Json::parse(&text)
-        .unwrap_or_else(|e| fail(&format!("{path} is not a valid artifact: {e:?}")));
-    let records = doc
-        .get("records")
-        .and_then(Json::as_arr)
-        .unwrap_or_else(|| fail(&format!("{path} has no records array")));
+/// Folds experiment-store records (from any source: a saved artifact
+/// via [`read_artifact_records`], or the current run via
+/// [`Outcome::store_records`]) into the same per-figure shape, with a
+/// trailing `"suite"` total. Figures keep first-appearance order.
+fn aggregates_from_records(records: &[Record]) -> Vec<(String, FigureAgg)> {
     let mut rows: Vec<(String, FigureAgg)> = Vec::new();
     let mut suite = FigureAgg::default();
     for rec in records {
-        let figure = rec
-            .get("figure")
-            .and_then(Json::as_str)
-            .unwrap_or("?")
-            .to_string();
-        let num = |key: &str| rec.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-        let agg = match rows.iter_mut().find(|(name, _)| *name == figure) {
+        let agg = match rows.iter_mut().find(|(name, _)| *name == rec.figure) {
             Some((_, agg)) => agg,
             None => {
-                rows.push((figure, FigureAgg::default()));
+                rows.push((rec.figure.clone(), FigureAgg::default()));
                 &mut rows.last_mut().expect("just pushed").1
             }
         };
-        agg.wall_secs += num("wall_secs");
-        agg.events += num("events_processed") as u64;
-        agg.allocs += num("host_allocs") as u64;
-        suite.wall_secs += num("wall_secs");
-        suite.events += num("events_processed") as u64;
-        suite.allocs += num("host_allocs") as u64;
+        agg.wall_secs += rec.wall_secs;
+        agg.events += rec.events_processed;
+        agg.allocs += rec.allocs_per_event * rec.events_processed as f64;
+        suite.wall_secs += rec.wall_secs;
+        suite.events += rec.events_processed;
+        suite.allocs += rec.allocs_per_event * rec.events_processed as f64;
     }
     rows.push(("suite".to_string(), suite));
     rows
@@ -455,6 +463,90 @@ fn print_compare(old_path: &str, old: &[(String, FigureAgg)], new: &[(String, Fi
     );
 }
 
+/// Prints per-figure trend tables over every run the store recorded.
+/// Stderr only — wall-clocks differ run to run, and stdout must stay
+/// byte-identical with or without the flag.
+fn print_history(store_path: &Path, wanted: &[&Figure]) {
+    let read = match Store::new(store_path).read() {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("history: cannot read {}: {e}", store_path.display());
+            return;
+        }
+    };
+    if let Some(recovery) = &read.recovery {
+        eprintln!("history {}: {recovery}", store_path.display());
+    }
+    let rows = figure_runs(&read.records);
+    for fig in wanted {
+        let fig_rows: Vec<&FigureRun> = rows.iter().filter(|r| r.figure == fig.name).collect();
+        if fig_rows.is_empty() {
+            continue;
+        }
+        eprintln!(
+            "\n=== history [{}] ({} recorded run(s)) ===",
+            fig.name,
+            fig_rows.len()
+        );
+        eprintln!(
+            "{:<22}{:<18}{:<14}{:>5}{:>10}{:>9}{:>11}{:>10}  vs best prior",
+            "run", "when (UTC)", "rev", "jobs", "events", "wall s", "events/s", "al/ev",
+        );
+        for (i, row) in fig_rows.iter().enumerate() {
+            // Baseline: the best *earlier* run of the identical job
+            // set, matching the gate's and the HTML report's framing.
+            let best_prior = fig_rows[..i]
+                .iter()
+                .filter(|p| p.config_set == row.config_set)
+                .map(|p| p.events_per_sec())
+                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))));
+            let delta = match best_prior {
+                None => "-".to_string(),
+                Some(best) => format!("{:+.1}%", (row.events_per_sec() / best - 1.0) * 100.0),
+            };
+            eprintln!(
+                "{:<22}{:<18}{:<14}{:>5}{:>10}{:>9.2}{:>11.0}{:>10.4}  {delta}",
+                row.run,
+                html_report::utc_datetime(row.created_unix),
+                short_rev(&row.git_revision),
+                row.jobs,
+                row.events,
+                row.wall_secs,
+                row.events_per_sec(),
+                row.allocs_per_event,
+            );
+        }
+    }
+}
+
+/// Renders the store as the HTML report page at `out_path`.
+fn write_report(store_path: &Path, out_path: &Path) {
+    let read = match Store::new(store_path).read() {
+        Ok(read) => read,
+        Err(e) => fail(&format!(
+            "--report: cannot read {}: {e}",
+            store_path.display()
+        )),
+    };
+    if read.records.is_empty() {
+        eprintln!(
+            "--report: store {} holds no records, skipping",
+            store_path.display()
+        );
+        return;
+    }
+    let page = html_report::render(&read.records);
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            fail(&format!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    if let Err(e) = std::fs::write(out_path, page) {
+        fail(&format!("cannot write {}: {e}", out_path.display()));
+    }
+    eprintln!("wrote {}", out_path.display());
+}
+
 fn print_details(series: &[Series]) {
     for s in series {
         for (n, r) in &s.points {
@@ -478,6 +570,22 @@ fn main() {
     let mut timeline_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut json_path = String::from("BENCH_repro.json");
+    let mut history_dir = String::from("exphistory");
+    let mut show_history = false;
+    let mut no_history = false;
+    let mut report: Option<Option<String>> = None;
+    // Known figure selectors, needed during parsing too: `--history`
+    // and `--report` take *optional* values, so a selector following
+    // them must not be swallowed as the value.
+    let known: Vec<&str> = std::iter::once("table41")
+        .chain(std::iter::once("all"))
+        .chain(FIGURES.iter().map(|f| f.name))
+        .collect();
+    let optional_value = |args: &[String], i: usize| -> Option<String> {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with('-') && !known.contains(&v.as_str()))
+            .cloned()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -521,9 +629,26 @@ fn main() {
                 i += 1;
                 timeline_dir = Some(arg_value(&args, i, "--timeline").to_string());
             }
+            "--history" => {
+                show_history = true;
+                if let Some(dir) = optional_value(&args, i) {
+                    history_dir = dir;
+                    i += 1;
+                }
+            }
+            "--no-history" => no_history = true,
+            "--report" => {
+                if let Some(path) = optional_value(&args, i) {
+                    report = Some(Some(path));
+                    i += 1;
+                } else {
+                    report = Some(None);
+                }
+            }
             other if other.starts_with('-') => fail(&format!(
                 "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, \
-                 --trace, --timeline, --profile, --alloc-stats, --compare, -v)"
+                 --trace, --timeline, --profile, --alloc-stats, --compare, --history, \
+                 --report, --no-history, -v)"
             )),
             other => which.push(other.to_string()),
         }
@@ -533,10 +658,6 @@ fn main() {
         which.push("all".to_string());
     }
     // Reject unknown figure names instead of silently doing nothing.
-    let known: Vec<&str> = std::iter::once("table41")
-        .chain(std::iter::once("all"))
-        .chain(FIGURES.iter().map(|f| f.name))
-        .collect();
     for w in &which {
         if !known.contains(&w.as_str()) {
             fail(&format!(
@@ -547,6 +668,22 @@ fn main() {
     }
     let all = which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    // Validate the --compare baseline *before* the (possibly long) run:
+    // a missing or malformed artifact fails fast and non-zero instead
+    // of wasting the run and limping through with an empty table.
+    let compare_old: Option<(String, Vec<Record>)> = compare.as_ref().map(|old_path| {
+        let records = read_artifact_records(Path::new(old_path))
+            .unwrap_or_else(|e| fail(&format!("--compare: {e}")));
+        (old_path.clone(), records)
+    });
+
+    let provenance = Provenance {
+        git_revision: env!("REPRO_GIT_REVISION").to_string(),
+        rustc_version: env!("REPRO_RUSTC_VERSION").to_string(),
+        build_profile: env!("REPRO_BUILD_PROFILE").to_string(),
+    };
+    let store_path: PathBuf = Path::new(&history_dir).join("history.jsonl");
 
     let dc_nodes = nodes
         .clone()
@@ -585,6 +722,12 @@ fn main() {
     let mut harness = Harness::new().progress(true).observe(observe);
     if let Some(n) = jobs {
         harness = harness.workers(n);
+    }
+    if !no_history {
+        harness = harness.history(History {
+            path: store_path.clone(),
+            provenance: provenance.clone(),
+        });
     }
     let outcome: Outcome = harness.run(sweeps);
 
@@ -661,11 +804,25 @@ fn main() {
         }
     }
 
-    if let Some(old_path) = &compare {
+    if let Some((old_path, old)) = &compare_old {
         if !outcome.results.is_empty() {
-            let old = load_artifact_aggregates(old_path);
-            let new = aggregate_outcome(&outcome, &wanted);
-            print_compare(old_path, &old, &new);
+            let current = outcome.store_records(&provenance);
+            print_compare(
+                old_path,
+                &aggregates_from_records(old),
+                &aggregates_from_records(&current),
+            );
+            // The store's gate, run informationally: flags metric drift
+            // for unchanged config fingerprints and reports each
+            // figure's events/s against the baseline's best comparable
+            // run — the same checks `perfgate` enforces in CI.
+            let gate = gate_check(old, &current, 50.0);
+            for note in &gate.notes {
+                eprintln!("compare: ok: {note}");
+            }
+            for failure in &gate.failures {
+                eprintln!("compare: NOTE: {failure}");
+            }
         }
     }
 
@@ -706,5 +863,18 @@ fn main() {
             outcome.workers,
             outcome.total_wall_secs
         );
+    }
+
+    // Trend tables and the HTML report read the store *after* this
+    // run's append, so the freshly recorded run is included.
+    if show_history {
+        print_history(&store_path, &wanted);
+    }
+    if let Some(report_path) = &report {
+        let out_path = report_path
+            .clone()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| Path::new(&history_dir).join("report.html"));
+        write_report(&store_path, &out_path);
     }
 }

@@ -1,0 +1,252 @@
+//! The experiment store's HTML report: the perf trajectory as a page.
+//!
+//! Sits next to [`chart`](crate::chart) (the per-figure SVG renderer)
+//! but reads the *store*, not a single run: one section per figure
+//! with a trend table over every recorded run (host event rate,
+//! allocations/event, wall), an inline events/s sparkline, a
+//! result-set hash that makes metric drift visible at a glance (two
+//! runs with the same config column and different result column
+//! produced different simulated results for the same configuration),
+//! and the delta against the best comparable earlier run. Rendering is
+//! pure string building over [`Record`]s — deterministic for a given
+//! store, no timestamps of its own, so re-rendering an unchanged store
+//! is byte-identical.
+
+use dbshare_expstore::{fnv1a_hex, short_rev, FigureRun, Record};
+
+/// Renders the full report page for `records` (append order).
+pub fn render(records: &[Record]) -> String {
+    let rows = dbshare_expstore::figure_runs(records);
+    let mut figures: Vec<&str> = Vec::new();
+    for row in &rows {
+        if !figures.contains(&row.figure.as_str()) {
+            figures.push(&row.figure);
+        }
+    }
+    let runs = {
+        let mut seen: Vec<&str> = Vec::new();
+        for r in records {
+            if !seen.contains(&r.run.as_str()) {
+                seen.push(&r.run);
+            }
+        }
+        seen
+    };
+
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(HEADER);
+    out.push_str(&format!(
+        "<h1>dbshare perf history</h1>\n<p class=\"meta\">{} recorded run(s), \
+         {} figure(s), {} job row(s)</p>\n",
+        runs.len(),
+        figures.len(),
+        records.len()
+    ));
+
+    for figure in figures {
+        let fig_rows: Vec<&FigureRun> = rows.iter().filter(|r| r.figure == figure).collect();
+        out.push_str(&format!("<h2>{}</h2>\n", escape(figure)));
+        out.push_str(&sparkline(&fig_rows));
+        out.push_str(
+            "<table>\n<tr><th>run</th><th>when (UTC)</th><th>rev</th><th>jobs</th>\
+             <th>events</th><th>wall s</th><th>events/s</th><th>allocs/ev</th>\
+             <th>config</th><th>results</th><th>vs best prior</th></tr>\n",
+        );
+        for (i, row) in fig_rows.iter().enumerate() {
+            // Best *earlier* run of the identical job set: the store's
+            // regression baseline.
+            let best_prior = fig_rows[..i]
+                .iter()
+                .filter(|p| p.config_set == row.config_set)
+                .map(|p| p.events_per_sec())
+                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))));
+            let delta = match best_prior {
+                None => "<td class=\"na\">&mdash;</td>".to_string(),
+                Some(best) => {
+                    let pct = (row.events_per_sec() / best - 1.0) * 100.0;
+                    let class = if pct < -10.0 {
+                        "bad"
+                    } else if pct > 10.0 {
+                        "good"
+                    } else {
+                        "flat"
+                    };
+                    format!("<td class=\"{class}\">{pct:+.1}%</td>")
+                }
+            };
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{:.2}</td><td>{:.0}</td><td>{:.4}</td>\
+                 <td class=\"hash\">{}</td><td class=\"hash\">{}</td>{}</tr>\n",
+                escape(&row.run),
+                utc_datetime(row.created_unix),
+                escape(short_rev(&row.git_revision)),
+                row.jobs,
+                row.events,
+                row.wall_secs,
+                row.events_per_sec(),
+                row.allocs_per_event,
+                &row.config_set[..8.min(row.config_set.len())],
+                &result_set(records, row)[..8],
+                delta,
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str(FOOTER);
+    out
+}
+
+/// FNV over the figure-run's sorted `(config, metric)` fingerprint
+/// pairs: equal iff the run produced bit-identical simulated results
+/// for the identical job set.
+fn result_set(records: &[Record], row: &FigureRun) -> String {
+    let mut pairs: Vec<String> = records
+        .iter()
+        .filter(|r| r.run == row.run && r.figure == row.figure)
+        .map(|r| format!("{}:{}", r.config_fingerprint, r.metric_fingerprint))
+        .collect();
+    pairs.sort_unstable();
+    fnv1a_hex(&pairs.join(","))
+}
+
+/// An inline SVG sparkline of events/s across the figure's runs.
+fn sparkline(rows: &[&FigureRun]) -> String {
+    if rows.len() < 2 {
+        return String::new();
+    }
+    let (w, h, pad) = (260.0f64, 40.0f64, 4.0f64);
+    let rates: Vec<f64> = rows.iter().map(|r| r.events_per_sec()).collect();
+    let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let points: Vec<String> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, rate)| {
+            let x = pad + (w - 2.0 * pad) * i as f64 / (rates.len() - 1) as f64;
+            let y = h - pad - (h - 2.0 * pad) * (rate - lo) / span;
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<svg class=\"spark\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.0} {h:.0}\"><polyline points=\"{}\" fill=\"none\" \
+         stroke=\"#2563eb\" stroke-width=\"1.5\"/></svg>\
+         <span class=\"meta\"> events/s, {:.0} &ndash; {:.0}</span>\n",
+        points.join(" "),
+        lo,
+        hi
+    )
+}
+
+/// `seconds` since the Unix epoch as `YYYY-MM-DD HH:MM` UTC (civil
+/// calendar arithmetic — no date dependency). Zero renders as `?`.
+pub fn utc_datetime(seconds: u64) -> String {
+    if seconds == 0 {
+        return "?".to_string();
+    }
+    let days = (seconds / 86_400) as i64;
+    let secs = seconds % 86_400;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!(
+        "{year:04}-{month:02}-{day:02} {:02}:{:02}",
+        secs / 3600,
+        (secs % 3600) / 60
+    )
+}
+
+/// Minimal HTML escaping for text interpolated into the page.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const HEADER: &str = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+<title>dbshare perf history</title>\n<style>\n\
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:72rem;padding:0 1rem;color:#111}\n\
+h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem;border-bottom:1px solid #ddd}\n\
+table{border-collapse:collapse;margin:0.5rem 0;font-variant-numeric:tabular-nums}\n\
+th,td{padding:0.2rem 0.7rem;text-align:right;border-bottom:1px solid #eee}\n\
+th{font-weight:600;background:#f8f8f8}td:first-child,th:first-child{text-align:left}\n\
+.hash{font-family:ui-monospace,monospace;color:#555}\n\
+.good{color:#15803d}.bad{color:#b91c1c;font-weight:600}.flat{color:#666}.na{color:#aaa}\n\
+.meta{color:#666}.spark{vertical-align:middle}\n\
+</style>\n</head>\n<body>\n";
+
+const FOOTER: &str = "</body>\n</html>\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_expstore::Provenance;
+
+    fn rec(run: &str, unix: u64, figure: &str, nodes: u16, wall: f64, metric: &str) -> Record {
+        Record {
+            run: run.into(),
+            created_unix: unix,
+            provenance: Provenance {
+                git_revision: format!("{run}revision000000"),
+                rustc_version: "rustc".into(),
+                build_profile: "release".into(),
+            },
+            figure: figure.into(),
+            curve: "c".into(),
+            nodes,
+            seed: 1,
+            config_fingerprint: format!("cfg{figure}{nodes}"),
+            metric_fingerprint: metric.into(),
+            wall_secs: wall,
+            events_processed: 100_000,
+            allocs_per_event: 0.06,
+            mean_response_ms: 50.0,
+            throughput_tps: 100.0,
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_and_covers_every_figure() {
+        let records = vec![
+            rec("r1", 1_754_000_000, "fig41", 1, 2.0, "m1"),
+            rec("r1", 1_754_000_000, "fig45", 1, 2.0, "m2"),
+            rec("r2", 1_754_100_000, "fig41", 1, 1.0, "m1"),
+        ];
+        let page = render(&records);
+        assert_eq!(page, render(&records), "rendering is not deterministic");
+        assert!(page.contains("<h2>fig41</h2>") && page.contains("<h2>fig45</h2>"));
+        // r2 doubled fig41's event rate over r1: +100% vs best prior.
+        assert!(page.contains("+100.0%"), "missing delta: {page}");
+        // Same results => same result-set hash in both fig41 rows.
+        let hash_cells: Vec<&str> = page.matches("class=\"hash\"").collect();
+        assert_eq!(hash_cells.len(), 6, "two hash cells per row");
+        // Escapes interpolated text.
+        assert!(!page.contains("<script"), "sanity");
+    }
+
+    #[test]
+    fn utc_datetime_matches_known_instants() {
+        assert_eq!(utc_datetime(0), "?");
+        assert_eq!(utc_datetime(86_400), "1970-01-02 00:00");
+        assert_eq!(utc_datetime(1_786_492_800), "2026-08-12 00:00");
+        assert_eq!(utc_datetime(1_754_006_400), "2025-08-01 00:00");
+    }
+}

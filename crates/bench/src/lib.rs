@@ -1,13 +1,16 @@
 //! Benchmark and reproduction harness for the `dbshare` workspace:
 //! the `repro` binary regenerating every figure, wall-clock benches on
-//! the dependency-free [`minibench`] runner, and a dependency-free
-//! [`chart`] SVG renderer for drawing the figures, plus
-//! [`trace_export`] turning run observations into Perfetto-loadable
-//! trace JSON and per-figure timeline CSV.
+//! the dependency-free [`minibench`] runner, a dependency-free
+//! [`chart`] SVG renderer for drawing the figures, [`trace_export`]
+//! turning run observations into Perfetto-loadable trace JSON and
+//! per-figure timeline CSV, and [`html_report`] rendering the
+//! experiment store's regression history as a single HTML page (the
+//! `perfgate` binary gates CI on the same store).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod html_report;
 pub mod minibench;
 pub mod trace_export;

@@ -1,0 +1,252 @@
+//! The query layer: an in-memory index over a slice of [`Record`]s.
+//!
+//! The log is small (one line per job per run), so the index is
+//! rebuilt from scratch on open — a handful of `HashMap`s over
+//! borrowed records, no secondary files to corrupt. Queries cover the
+//! three axes the tooling needs: by figure (trend tables), by config
+//! fingerprint (regression deltas against the best prior run of the
+//! *same* configuration), and by git revision (what did commit X
+//! score). [`figure_runs`] folds per-job rows into per-(run, figure)
+//! aggregates, each stamped with a *config-set fingerprint* — an
+//! FNV-1a hash over the sorted config fingerprints of the figure's
+//! jobs — so aggregate comparisons only ever pair runs that executed
+//! the identical job set.
+
+use crate::record::{fnv1a_hex, Record};
+use std::collections::HashMap;
+
+/// Index over a borrowed slice of records.
+#[derive(Debug)]
+pub struct Index<'a> {
+    records: &'a [Record],
+    by_figure: HashMap<&'a str, Vec<usize>>,
+    by_config: HashMap<&'a str, Vec<usize>>,
+    by_revision: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Index<'a> {
+    /// Builds the index (one pass over `records`).
+    pub fn new(records: &'a [Record]) -> Index<'a> {
+        let mut by_figure: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_config: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_revision: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            by_figure.entry(&r.figure).or_default().push(i);
+            by_config.entry(&r.config_fingerprint).or_default().push(i);
+            by_revision
+                .entry(&r.provenance.git_revision)
+                .or_default()
+                .push(i);
+        }
+        Index {
+            records,
+            by_figure,
+            by_config,
+            by_revision,
+        }
+    }
+
+    /// Every figure present, in order of first appearance.
+    pub fn figures(&self) -> Vec<&'a str> {
+        let mut seen = Vec::new();
+        for r in self.records {
+            if !seen.contains(&r.figure.as_str()) {
+                seen.push(&r.figure);
+            }
+        }
+        seen
+    }
+
+    /// Every run id present, in order of first appearance.
+    pub fn runs(&self) -> Vec<&'a str> {
+        let mut seen = Vec::new();
+        for r in self.records {
+            if !seen.contains(&r.run.as_str()) {
+                seen.push(&r.run);
+            }
+        }
+        seen
+    }
+
+    fn lookup(&self, map: &HashMap<&'a str, Vec<usize>>, key: &str) -> Vec<&'a Record> {
+        map.get(key)
+            .map(|ids| ids.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All records of `figure`, in append order.
+    pub fn by_figure(&self, figure: &str) -> Vec<&'a Record> {
+        self.lookup(&self.by_figure, figure)
+    }
+
+    /// All records with the given config fingerprint, in append order.
+    pub fn by_config(&self, fingerprint: &str) -> Vec<&'a Record> {
+        self.lookup(&self.by_config, fingerprint)
+    }
+
+    /// All records produced by the given git revision, in append order.
+    pub fn by_revision(&self, revision: &str) -> Vec<&'a Record> {
+        self.lookup(&self.by_revision, revision)
+    }
+
+    /// The fastest recorded run of exactly this configuration — the
+    /// baseline regression deltas are computed against. Ties keep the
+    /// earliest record.
+    pub fn best_events_per_sec(&self, config_fingerprint: &str) -> Option<&'a Record> {
+        self.by_config(config_fingerprint)
+            .into_iter()
+            .reduce(|best, r| {
+                if r.events_per_sec() > best.events_per_sec() {
+                    r
+                } else {
+                    best
+                }
+            })
+    }
+}
+
+/// Per-(run, figure) aggregate of job rows: the row a trend table
+/// prints and the unit the regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRun {
+    /// Run id the jobs belong to.
+    pub run: String,
+    /// Unix timestamp of the run.
+    pub created_unix: u64,
+    /// Git revision that produced the run.
+    pub git_revision: String,
+    /// Figure key.
+    pub figure: String,
+    /// Jobs aggregated into this row.
+    pub jobs: usize,
+    /// Summed host wall seconds.
+    pub wall_secs: f64,
+    /// Summed events processed.
+    pub events: u64,
+    /// Event-weighted allocations per event.
+    pub allocs_per_event: f64,
+    /// FNV-1a over the sorted config fingerprints of the jobs: two
+    /// rows are comparable iff this matches.
+    pub config_set: String,
+}
+
+impl FigureRun {
+    /// Aggregate host event rate of the figure's jobs.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Folds records into [`FigureRun`] aggregates, preserving the order
+/// in which (run, figure) pairs first appear in the log.
+pub fn figure_runs(records: &[Record]) -> Vec<FigureRun> {
+    let mut rows: Vec<FigureRun> = Vec::new();
+    let mut configs: Vec<Vec<&str>> = Vec::new();
+    let mut allocs: Vec<f64> = Vec::new();
+    for r in records {
+        let at = rows
+            .iter()
+            .position(|row| row.run == r.run && row.figure == r.figure)
+            .unwrap_or_else(|| {
+                rows.push(FigureRun {
+                    run: r.run.clone(),
+                    created_unix: r.created_unix,
+                    git_revision: r.provenance.git_revision.clone(),
+                    figure: r.figure.clone(),
+                    jobs: 0,
+                    wall_secs: 0.0,
+                    events: 0,
+                    allocs_per_event: 0.0,
+                    config_set: String::new(),
+                });
+                configs.push(Vec::new());
+                allocs.push(0.0);
+                rows.len() - 1
+            });
+        rows[at].jobs += 1;
+        rows[at].wall_secs += r.wall_secs;
+        rows[at].events += r.events_processed;
+        allocs[at] += r.allocs_per_event * r.events_processed as f64;
+        configs[at].push(&r.config_fingerprint);
+    }
+    for ((row, mut fps), alloc_sum) in rows.iter_mut().zip(configs).zip(allocs) {
+        fps.sort_unstable();
+        row.config_set = fnv1a_hex(&fps.join(","));
+        row.allocs_per_event = alloc_sum / (row.events.max(1)) as f64;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Provenance;
+
+    fn rec(run: &str, figure: &str, nodes: u16, rev: &str, wall: f64, events: u64) -> Record {
+        Record {
+            run: run.into(),
+            created_unix: 5,
+            provenance: Provenance {
+                git_revision: rev.into(),
+                rustc_version: "rustc".into(),
+                build_profile: "release".into(),
+            },
+            figure: figure.into(),
+            curve: "c".into(),
+            nodes,
+            seed: 1,
+            config_fingerprint: format!("cfg-{figure}-{nodes}"),
+            metric_fingerprint: format!("met-{figure}-{nodes}"),
+            wall_secs: wall,
+            events_processed: events,
+            allocs_per_event: 0.1,
+            mean_response_ms: 1.0,
+            throughput_tps: 1.0,
+        }
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            rec("r1", "fig41", 1, "revA", 1.0, 1000),
+            rec("r1", "fig41", 2, "revA", 1.0, 3000),
+            rec("r1", "fig45", 1, "revA", 2.0, 2000),
+            rec("r2", "fig41", 1, "revB", 0.5, 1000),
+            rec("r2", "fig41", 2, "revB", 0.5, 3000),
+        ]
+    }
+
+    #[test]
+    fn queries_cover_all_three_axes() {
+        let records = sample();
+        let index = Index::new(&records);
+        assert_eq!(index.figures(), vec!["fig41", "fig45"]);
+        assert_eq!(index.runs(), vec!["r1", "r2"]);
+        assert_eq!(index.by_figure("fig41").len(), 4);
+        assert_eq!(index.by_figure("fig99").len(), 0);
+        assert_eq!(index.by_config("cfg-fig45-1").len(), 1);
+        assert_eq!(index.by_revision("revB").len(), 2);
+        // r2 ran the fig41/1-node config twice as fast as r1.
+        let best = index.best_events_per_sec("cfg-fig41-1").expect("has runs");
+        assert_eq!(best.run, "r2");
+    }
+
+    #[test]
+    fn figure_runs_aggregate_and_fingerprint_the_config_set() {
+        let rows = figure_runs(&sample());
+        assert_eq!(rows.len(), 3);
+        let r1fig41 = &rows[0];
+        assert_eq!(
+            (r1fig41.run.as_str(), r1fig41.figure.as_str()),
+            ("r1", "fig41")
+        );
+        assert_eq!(r1fig41.jobs, 2);
+        assert_eq!(r1fig41.events, 4000);
+        assert!((r1fig41.events_per_sec() - 2000.0).abs() < 1e-9);
+        // Same job set => same config-set fingerprint across runs.
+        let r2fig41 = rows.iter().find(|r| r.run == "r2").expect("r2 present");
+        assert_eq!(r1fig41.config_set, r2fig41.config_set);
+        // Different job set => different fingerprint.
+        let r1fig45 = rows.iter().find(|r| r.figure == "fig45").expect("fig45");
+        assert_ne!(r1fig41.config_set, r1fig45.config_set);
+    }
+}

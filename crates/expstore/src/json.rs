@@ -1,11 +1,15 @@
 //! A minimal, dependency-free JSON value: writer and parser.
 //!
-//! Only what the run artifacts need — objects (with preserved key
-//! order, so rendering is deterministic), arrays, strings, finite
-//! numbers, booleans, and null. Non-finite numbers render as `null`,
-//! keeping every emitted document standard-conformant. The parser
-//! accepts exactly the grammar the writer emits (plus arbitrary
-//! whitespace), which is what the round-trip regression test relies on.
+//! Only what the run artifacts and the experiment store need — objects
+//! (with preserved key order, so rendering is deterministic), arrays,
+//! strings, finite numbers, booleans, and null. Non-finite numbers
+//! render as `null`, keeping every emitted document
+//! standard-conformant. The parser accepts exactly the grammar the
+//! writers emit (plus arbitrary whitespace), which is what the
+//! round-trip regression tests rely on. [`Json::render`] produces the
+//! pretty document form (`BENCH_repro.json`); [`Json::render_line`]
+//! produces the compact single-line form the store's line-delimited
+//! log uses — both re-serialize byte-identically after a parse.
 
 use std::fmt;
 
@@ -87,6 +91,42 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Renders the value on a single line with no whitespace — the
+    /// form one record occupies in the store's line-delimited log.
+    pub fn render_line(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -423,6 +463,23 @@ mod tests {
         ]);
         let text = doc.render();
         assert_eq!(Json::parse(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn compact_form_round_trips_and_stays_on_one_line() {
+        let doc = Json::obj(vec![
+            ("figure", Json::Str("fig4.1\nodd".into())),
+            ("nodes", Json::Num(4.0)),
+            ("xs", Json::Arr(vec![Json::Num(1.5), Json::Null])),
+            ("inner", Json::obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        let line = doc.render_line();
+        assert!(!line.contains('\n'), "compact form spans lines: {line}");
+        assert_eq!(
+            line,
+            "{\"figure\":\"fig4.1\\nodd\",\"nodes\":4.0,\"xs\":[1.5,null],\"inner\":{\"ok\":true}}"
+        );
+        assert_eq!(Json::parse(&line).expect("parses"), doc);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! The store's row type: one executed job, fully provenance-stamped.
+//!
+//! A [`Record`] is the unit the append-only log persists and the index
+//! queries: which figure/curve/point ran, under which configuration
+//! (the config fingerprint covers every parameter including seed and
+//! run length), what it produced (the metric fingerprint pins every
+//! headline metric bit-exactly), which build produced it (git
+//! revision, rustc, profile), and what it cost on the host (wall
+//! seconds, events, allocations). Records serialize to one compact
+//! JSON line each ([`Record::to_line`]) and parse back losslessly
+//! ([`Record::from_line`]); the field order is fixed so re-rendering a
+//! parsed record is byte-identical.
+
+use crate::json::Json;
+
+/// Store schema version, embedded in every row as `"v"`. Bumped on
+/// incompatible layout changes; readers reject rows they don't know.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Build/run provenance shared by every record of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// `git rev-parse HEAD` at build time (`-dirty` suffix when the
+    /// tree had uncommitted changes); `"unknown"` without a checkout.
+    pub git_revision: String,
+    /// `rustc -V` of the compiler that built the binary.
+    pub rustc_version: String,
+    /// Cargo build profile (`release`, `debug`, ...).
+    pub build_profile: String,
+}
+
+/// One persisted job result: a single row of the experiment store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Opaque run id grouping the rows appended by one harness run.
+    pub run: String,
+    /// Unix timestamp of the run (0 when the clock was unreadable).
+    pub created_unix: u64,
+    /// Build provenance of the binary that executed the job.
+    pub provenance: Provenance,
+    /// Figure key, e.g. `"fig41"`.
+    pub figure: String,
+    /// Curve label as in the paper's legend.
+    pub curve: String,
+    /// Swept node count (the x-axis value).
+    pub nodes: u16,
+    /// The run's master seed.
+    pub seed: u64,
+    /// FNV-1a hash of the job's complete configuration.
+    pub config_fingerprint: String,
+    /// FNV-1a hash over the bits of every headline metric — equal iff
+    /// the simulation produced bit-identical results.
+    pub metric_fingerprint: String,
+    /// Host wall-clock seconds the job took.
+    pub wall_secs: f64,
+    /// Calendar events the job processed.
+    pub events_processed: u64,
+    /// Host heap allocations per processed event.
+    pub allocs_per_event: f64,
+    /// Headline simulated metric: mean response time in ms.
+    pub mean_response_ms: f64,
+    /// Headline simulated metric: system throughput in TPS.
+    pub throughput_tps: f64,
+}
+
+impl Record {
+    /// Host event rate of the job — the store's perf trend metric.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_processed as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// The record as a [`Json`] object with the store's fixed key
+    /// order.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", Json::Num(SCHEMA_VERSION as f64)),
+            ("run", Json::Str(self.run.clone())),
+            ("created_unix", Json::Num(self.created_unix as f64)),
+            (
+                "git_revision",
+                Json::Str(self.provenance.git_revision.clone()),
+            ),
+            (
+                "rustc_version",
+                Json::Str(self.provenance.rustc_version.clone()),
+            ),
+            (
+                "build_profile",
+                Json::Str(self.provenance.build_profile.clone()),
+            ),
+            ("figure", Json::Str(self.figure.clone())),
+            ("curve", Json::Str(self.curve.clone())),
+            ("nodes", Json::Num(f64::from(self.nodes))),
+            ("seed", Json::Num(self.seed as f64)),
+            (
+                "config_fingerprint",
+                Json::Str(self.config_fingerprint.clone()),
+            ),
+            (
+                "metric_fingerprint",
+                Json::Str(self.metric_fingerprint.clone()),
+            ),
+            ("wall_secs", Json::Num(self.wall_secs)),
+            ("events_processed", Json::Num(self.events_processed as f64)),
+            ("allocs_per_event", Json::Num(self.allocs_per_event)),
+            ("mean_response_ms", Json::Num(self.mean_response_ms)),
+            ("throughput_tps", Json::Num(self.throughput_tps)),
+        ])
+    }
+
+    /// Renders the record as one store line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().render_line()
+    }
+
+    /// Reads a record back from a parsed store row.
+    pub fn from_json(doc: &Json) -> Result<Record, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let version = num_field("v")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported record version {version} (this reader knows {SCHEMA_VERSION})"
+            ));
+        }
+        Ok(Record {
+            run: str_field("run")?,
+            created_unix: num_field("created_unix")? as u64,
+            provenance: Provenance {
+                git_revision: str_field("git_revision")?,
+                rustc_version: str_field("rustc_version")?,
+                build_profile: str_field("build_profile")?,
+            },
+            figure: str_field("figure")?,
+            curve: str_field("curve")?,
+            nodes: num_field("nodes")? as u16,
+            seed: num_field("seed")? as u64,
+            config_fingerprint: str_field("config_fingerprint")?,
+            metric_fingerprint: str_field("metric_fingerprint")?,
+            wall_secs: num_field("wall_secs")?,
+            events_processed: num_field("events_processed")? as u64,
+            allocs_per_event: num_field("allocs_per_event")?,
+            mean_response_ms: num_field("mean_response_ms")?,
+            throughput_tps: num_field("throughput_tps")?,
+        })
+    }
+
+    /// Parses one store line.
+    pub fn from_line(line: &str) -> Result<Record, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        Record::from_json(&doc)
+    }
+}
+
+/// A 64-bit FNV-1a hash of `text`, as 16 hex digits — the same
+/// construction the harness uses for config fingerprints, shared here
+/// so every layer derives identifiers identically.
+pub fn fnv1a_hex(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(figure: &str, nodes: u16, seed: u64) -> Record {
+        Record {
+            run: "r100-1-0".into(),
+            created_unix: 1_760_000_000,
+            provenance: Provenance {
+                git_revision: "abc123".into(),
+                rustc_version: "rustc 1.80.0".into(),
+                build_profile: "release".into(),
+            },
+            figure: figure.into(),
+            curve: "GEM, NOFORCE".into(),
+            nodes,
+            seed,
+            config_fingerprint: format!("cfg{figure}{nodes}"),
+            metric_fingerprint: format!("met{figure}{nodes}"),
+            wall_secs: 0.5,
+            events_processed: 70_000,
+            allocs_per_event: 0.0625,
+            mean_response_ms: 71.7,
+            throughput_tps: 197.0,
+        }
+    }
+
+    #[test]
+    fn line_round_trip_is_lossless() {
+        let rec = sample("fig41", 4, 42);
+        let line = rec.to_line();
+        assert!(!line.contains('\n'));
+        let back = Record::from_line(&line).expect("parses back");
+        assert_eq!(back, rec);
+        // Re-serialization of the parsed record is byte-identical.
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut doc = sample("fig41", 1, 7).to_json();
+        doc.set("v", Json::Num(99.0));
+        let err = Record::from_json(&doc).expect_err("version 99 must be rejected");
+        assert!(err.contains("version 99"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn missing_fields_name_the_field() {
+        let err = Record::from_line("{\"v\":1.0,\"run\":\"r\"}").expect_err("incomplete row");
+        assert!(err.contains("created_unix"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a 64-bit reference values.
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("a"), "af63dc4c8601ec8c");
+    }
+}

@@ -85,6 +85,7 @@ fn record(result: &JobResult) -> Json {
             "config_fingerprint",
             Json::Str(fingerprint(&result.job.spec)),
         ),
+        ("metric_fingerprint", Json::Str(r.metric_fingerprint())),
         ("wall_secs", Json::Num(result.wall_secs)),
         ("events_processed", Json::Num(r.events_processed as f64)),
         (
@@ -171,6 +172,7 @@ mod tests {
             for key in [
                 "seed",
                 "config_fingerprint",
+                "metric_fingerprint",
                 "sim_seconds",
                 "mean_response_ms",
                 "throughput_tps",

@@ -28,17 +28,22 @@
 
 pub mod alloc_track;
 pub mod artifact;
-pub mod json;
 pub mod pool;
 
 pub use alloc_track::CountingAlloc;
 pub use artifact::{fingerprint, write_artifact, SCHEMA};
-pub use json::Json;
+// The JSON value moved into the experiment store crate (the store is
+// the lowest persistence layer now); re-exported here so harness users
+// keep their `dbshare_harness::{json, Json}` paths.
+pub use dbshare_expstore::json::{self, Json};
+pub use dbshare_expstore::{Provenance, Record, Store};
 pub use pool::{run_jobs, Job, JobResult};
 
 pub use dbshare_sim::{Observations, Observe, TimelineWindow};
 
 use dbshare_sim::experiments::{CurveGrid, Series};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// One figure's worth of pending runs: a figure key plus the grid the
@@ -77,6 +82,9 @@ pub struct Outcome {
     pub total_wall_secs: f64,
     /// Unix timestamp the run started, when the clock was readable.
     pub created_unix: Option<u64>,
+    /// Opaque id grouping this run's rows in the experiment store
+    /// (unique per run within a machine: timestamp, pid, sequence).
+    pub run_id: String,
 }
 
 impl Outcome {
@@ -97,14 +105,52 @@ impl Outcome {
             self.created_unix,
         )
     }
+
+    /// The run's results as experiment-store rows: one [`Record`] per
+    /// job, stamped with this run's id and the caller's build
+    /// provenance. This is what [`Harness`] appends to the store after
+    /// each grid run.
+    pub fn store_records(&self, provenance: &Provenance) -> Vec<Record> {
+        self.results
+            .iter()
+            .map(|res| Record {
+                run: self.run_id.clone(),
+                created_unix: self.created_unix.unwrap_or(0),
+                provenance: provenance.clone(),
+                figure: res.job.figure.clone(),
+                curve: res.job.curve.clone(),
+                nodes: res.job.nodes,
+                seed: res.job.spec.seed(),
+                config_fingerprint: fingerprint(&res.job.spec),
+                metric_fingerprint: res.report.metric_fingerprint(),
+                wall_secs: res.wall_secs,
+                events_processed: res.report.events_processed,
+                allocs_per_event: res.report.profile.allocs_per_event(),
+                mean_response_ms: res.report.mean_response_ms,
+                throughput_tps: res.report.throughput_tps,
+            })
+            .collect()
+    }
 }
 
-/// The orchestrator: worker count and progress reporting policy.
+/// Where (and as whom) a harness persists its runs: the store file to
+/// append to and the build provenance to stamp every row with.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// The store file (conventionally `exphistory/history.jsonl`).
+    pub path: PathBuf,
+    /// Build provenance recorded on every row.
+    pub provenance: Provenance,
+}
+
+/// The orchestrator: worker count, progress reporting, and
+/// persistence policy.
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
     progress: bool,
     observe: Observe,
+    history: Option<History>,
 }
 
 impl Default for Harness {
@@ -114,12 +160,14 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// A harness using every available core and no progress output.
+    /// A harness using every available core, no progress output, and
+    /// no persistence.
     pub fn new() -> Self {
         Harness {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             progress: false,
             observe: Observe::default(),
+            history: None,
         }
     }
 
@@ -140,6 +188,15 @@ impl Harness {
     /// run; results carry the collected [`Observations`] per job.
     pub fn observe(mut self, observe: Observe) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Persists every run to the experiment store: after each grid
+    /// run, one [`Record`] per job is appended to `history.path`. A
+    /// failed append warns on stderr rather than discarding a
+    /// completed run's results.
+    pub fn history(mut self, history: History) -> Self {
+        self.history = Some(history);
         self
     }
 
@@ -199,13 +256,45 @@ impl Harness {
             })
             .collect();
 
-        Outcome {
+        // Run ids only need to be unique per machine: timestamp for
+        // humans, pid + process-wide sequence for uniqueness when runs
+        // share a second (back-to-back invocations, test suites).
+        static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+        let run_id = format!(
+            "r{}-{}-{}",
+            created_unix.unwrap_or(0),
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+
+        let outcome = Outcome {
             figures,
             results,
             workers: self.workers,
             total_wall_secs,
             created_unix,
+            run_id,
+        };
+
+        if let Some(history) = &self.history {
+            // Append after every grid run. Warnings go to stderr so
+            // stdout stays byte-identical for any harness settings.
+            let store = Store::new(&history.path);
+            match store.append(&outcome.store_records(&history.provenance)) {
+                Ok(None) => {}
+                Ok(Some(recovery)) => {
+                    eprintln!("history {}: {recovery}", history.path.display());
+                }
+                Err(e) => {
+                    eprintln!(
+                        "history {}: cannot append run ({e}); results not persisted",
+                        history.path.display()
+                    );
+                }
+            }
         }
+
+        outcome
     }
 }
 

@@ -389,6 +389,41 @@ impl RunReport {
             .find(|(n, _)| n == partition)
             .map(|&(_, r)| r)
     }
+
+    /// A 64-bit FNV-1a fingerprint over the exact bits of the report's
+    /// headline metrics (the same field set the golden-numbers tests
+    /// pin), as 16 hex digits. The simulator is deterministic, so two
+    /// runs of one configuration share a fingerprint iff they produced
+    /// bit-identical results — the experiment store records it per job
+    /// and the regression gate fails on any change for an unchanged
+    /// config fingerprint.
+    pub fn metric_fingerprint(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.measured_txns);
+        eat(self.mean_response_ms.to_bits());
+        eat(self.p95_response_ms.to_bits());
+        eat(self.norm_response_ms.to_bits());
+        eat(self.throughput_tps.to_bits());
+        eat(self.lock_wait_ms.to_bits());
+        eat(self.io_wait_ms.to_bits());
+        eat(self.cpu_wait_ms.to_bits());
+        eat(self.cpu_service_ms.to_bits());
+        eat(self.cpu_utilization.to_bits());
+        eat(self.messages_per_txn.to_bits());
+        eat(self.lock_requests_per_txn.to_bits());
+        eat(self.reads_per_txn.to_bits());
+        eat(self.writes_per_txn.to_bits());
+        eat(self.deadlock_aborts);
+        eat(self.timeout_aborts);
+        eat(self.events_processed);
+        format!("{hash:016x}")
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -522,6 +557,25 @@ mod tests {
         let mut r = report();
         r.deadlock_aborts = 3;
         assert!(r.to_string().contains("3 deadlock"));
+    }
+
+    #[test]
+    fn metric_fingerprint_is_stable_and_sensitive() {
+        let r = report();
+        assert_eq!(r.metric_fingerprint(), r.metric_fingerprint());
+        assert_eq!(r.metric_fingerprint().len(), 16);
+        // Any pinned metric flips the fingerprint — even by one ULP.
+        let mut ulp = report();
+        ulp.mean_response_ms = f64::from_bits(ulp.mean_response_ms.to_bits() + 1);
+        assert_ne!(r.metric_fingerprint(), ulp.metric_fingerprint());
+        let mut counter = report();
+        counter.events_processed += 1;
+        assert_ne!(r.metric_fingerprint(), counter.metric_fingerprint());
+        // Unpinned presentation fields (e.g. per-node breakdowns) do
+        // not: the fingerprint tracks the golden-test field set.
+        let mut cosmetic = report();
+        cosmetic.cpu_utilization_per_node = vec![0.0];
+        assert_eq!(r.metric_fingerprint(), cosmetic.metric_fingerprint());
     }
 
     #[test]

@@ -65,7 +65,8 @@ fn main() {
                 .collect(),
         );
     }
-    let path = "node_failure.svg";
+    let path = "svg/node_failure.svg";
+    std::fs::create_dir_all("svg").expect("create svg dir");
     std::fs::write(path, chart.render(860, 480)).expect("write svg");
     println!("\nwrote {path} (the loose coupling's dip is deeper: its");
     println!("lock-authority state died with the node)");
