@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--json PATH] [--nodes 1,2,5,10]
+//! repro [--quick] [--jobs N] [--cores N] [--json PATH] [--nodes 1,2,5,10]
 //!       [--csv DIR] [--svg DIR] [--trace DIR] [--timeline DIR]
 //!       [--profile] [--alloc-stats] [--compare OLD.json]
 //!       [--history [DIR]] [--report [PATH]] [--no-history] [-v]
@@ -14,7 +14,13 @@
 //! figures are flattened into independent jobs and executed on the
 //! `dbshare-harness` worker pool (`--jobs N`, default: all cores);
 //! every run is deterministic, so the printed tables are byte-identical
-//! for any worker count. Progress goes to stderr; a per-job artifact
+//! for any worker count. `--cores N` additionally runs *each* job on
+//! the pipeline engine with N threads (arrival producer, statistics
+//! sink, trace sink; default 1 = the serial event loop) — results,
+//! fingerprints, and exported traces are bit-identical at every
+//! setting, only host wall-clock changes, and the per-job `cores`
+//! value is recorded in the artifact and the experiment store so perf
+//! comparisons stay apples-to-apples. Progress goes to stderr; a per-job artifact
 //! with wall-clocks, seeds, and headline metrics is written to
 //! `BENCH_repro.json` (`--json PATH` to relocate). `--verbose`
 //! additionally prints the full per-run reports; `--csv DIR` writes
@@ -489,15 +495,17 @@ fn print_history(store_path: &Path, wanted: &[&Figure]) {
             fig_rows.len()
         );
         eprintln!(
-            "{:<22}{:<18}{:<14}{:>5}{:>10}{:>9}{:>11}{:>10}  vs best prior",
-            "run", "when (UTC)", "rev", "jobs", "events", "wall s", "events/s", "al/ev",
+            "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9}{:>11}{:>10}  vs best prior",
+            "run", "when (UTC)", "rev", "jobs", "cores", "events", "wall s", "events/s", "al/ev",
         );
         for (i, row) in fig_rows.iter().enumerate() {
             // Baseline: the best *earlier* run of the identical job
-            // set, matching the gate's and the HTML report's framing.
+            // set *and engine thread count*, matching the gate's and
+            // the HTML report's framing — a serial run is never the
+            // wall-clock baseline of a parallel one.
             let best_prior = fig_rows[..i]
                 .iter()
-                .filter(|p| p.config_set == row.config_set)
+                .filter(|p| p.config_set == row.config_set && p.cores == row.cores)
                 .map(|p| p.events_per_sec())
                 .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))));
             let delta = match best_prior {
@@ -505,11 +513,12 @@ fn print_history(store_path: &Path, wanted: &[&Figure]) {
                 Some(best) => format!("{:+.1}%", (row.events_per_sec() / best - 1.0) * 100.0),
             };
             eprintln!(
-                "{:<22}{:<18}{:<14}{:>5}{:>10}{:>9.2}{:>11.0}{:>10.4}  {delta}",
+                "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9.2}{:>11.0}{:>10.4}  {delta}",
                 row.run,
                 html_report::utc_datetime(row.created_unix),
                 short_rev(&row.git_revision),
                 row.jobs,
+                row.cores,
                 row.events,
                 row.wall_secs,
                 row.events_per_sec(),
@@ -569,6 +578,7 @@ fn main() {
     let mut trace_dir: Option<String> = None;
     let mut timeline_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut cores: Option<u32> = None;
     let mut json_path = String::from("BENCH_repro.json");
     let mut history_dir = String::from("exphistory");
     let mut show_history = false;
@@ -609,6 +619,14 @@ fn main() {
                     _ => fail(&format!("--jobs takes an integer >= 1, got {v:?}")),
                 }
             }
+            "--cores" => {
+                i += 1;
+                let v = arg_value(&args, i, "--cores");
+                match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => cores = Some(n),
+                    _ => fail(&format!("--cores takes an integer >= 1, got {v:?}")),
+                }
+            }
             "--json" => {
                 i += 1;
                 json_path = arg_value(&args, i, "--json").to_string();
@@ -646,8 +664,8 @@ fn main() {
                 }
             }
             other if other.starts_with('-') => fail(&format!(
-                "unknown flag {other:?} (try --quick, --jobs, --json, --nodes, --csv, --svg, \
-                 --trace, --timeline, --profile, --alloc-stats, --compare, --history, \
+                "unknown flag {other:?} (try --quick, --jobs, --cores, --json, --nodes, --csv, \
+                 --svg, --trace, --timeline, --profile, --alloc-stats, --compare, --history, \
                  --report, --no-history, -v)"
             )),
             other => which.push(other.to_string()),
@@ -722,6 +740,9 @@ fn main() {
     let mut harness = Harness::new().progress(true).observe(observe);
     if let Some(n) = jobs {
         harness = harness.workers(n);
+    }
+    if let Some(n) = cores {
+        harness = harness.cores(n);
     }
     if !no_history {
         harness = harness.history(History {

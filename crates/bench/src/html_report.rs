@@ -3,14 +3,19 @@
 //! Sits next to [`chart`](crate::chart) (the per-figure SVG renderer)
 //! but reads the *store*, not a single run: one section per figure
 //! with a trend table over every recorded run (host event rate,
-//! allocations/event, wall), an inline events/s sparkline, a
-//! result-set hash that makes metric drift visible at a glance (two
-//! runs with the same config column and different result column
-//! produced different simulated results for the same configuration),
-//! and the delta against the best comparable earlier run. Rendering is
-//! pure string building over [`Record`]s — deterministic for a given
-//! store, no timestamps of its own, so re-rendering an unchanged store
-//! is byte-identical.
+//! allocations/event, wall, engine cores), inline sparklines for host
+//! events/s *and* the simulated headline metrics (throughput TPS and
+//! mean response — flat lines by construction, since results are
+//! bit-identical run to run; any kink is a regression), an events/s
+//! vs engine-cores sparkline when the store holds runs at more than
+//! one `cores` setting, a result-set hash that makes metric drift
+//! visible at a glance (two runs with the same config column and
+//! different result column produced different simulated results for
+//! the same configuration), and the delta against the best comparable
+//! earlier run — comparable meaning same job set *and* same engine
+//! thread count. Rendering is pure string building over [`Record`]s —
+//! deterministic for a given store, no timestamps of its own, so
+//! re-rendering an unchanged store is byte-identical.
 
 use dbshare_expstore::{fnv1a_hex, short_rev, FigureRun, Record};
 
@@ -46,18 +51,20 @@ pub fn render(records: &[Record]) -> String {
     for figure in figures {
         let fig_rows: Vec<&FigureRun> = rows.iter().filter(|r| r.figure == figure).collect();
         out.push_str(&format!("<h2>{}</h2>\n", escape(figure)));
-        out.push_str(&sparkline(&fig_rows));
+        out.push_str(&sparklines(records, &fig_rows));
         out.push_str(
             "<table>\n<tr><th>run</th><th>when (UTC)</th><th>rev</th><th>jobs</th>\
-             <th>events</th><th>wall s</th><th>events/s</th><th>allocs/ev</th>\
+             <th>cores</th><th>events</th><th>wall s</th><th>events/s</th><th>allocs/ev</th>\
+             <th>TPS</th><th>resp ms</th>\
              <th>config</th><th>results</th><th>vs best prior</th></tr>\n",
         );
         for (i, row) in fig_rows.iter().enumerate() {
-            // Best *earlier* run of the identical job set: the store's
-            // regression baseline.
+            // Best *earlier* run of the identical job set at the same
+            // engine thread count: the store's regression baseline. A
+            // serial run never baselines a parallel one.
             let best_prior = fig_rows[..i]
                 .iter()
-                .filter(|p| p.config_set == row.config_set)
+                .filter(|p| p.config_set == row.config_set && p.cores == row.cores)
                 .map(|p| p.events_per_sec())
                 .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))));
             let delta = match best_prior {
@@ -74,14 +81,17 @@ pub fn render(records: &[Record]) -> String {
                     format!("<td class=\"{class}\">{pct:+.1}%</td>")
                 }
             };
+            let (tps, resp) = sim_metrics(records, row);
             out.push_str(&format!(
-                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
                  <td>{:.2}</td><td>{:.0}</td><td>{:.4}</td>\
+                 <td>{tps:.1}</td><td>{resp:.1}</td>\
                  <td class=\"hash\">{}</td><td class=\"hash\">{}</td>{}</tr>\n",
                 escape(&row.run),
                 utc_datetime(row.created_unix),
                 escape(short_rev(&row.git_revision)),
                 row.jobs,
+                row.cores,
                 row.events,
                 row.wall_secs,
                 row.events_per_sec(),
@@ -103,41 +113,100 @@ pub fn render(records: &[Record]) -> String {
 fn result_set(records: &[Record], row: &FigureRun) -> String {
     let mut pairs: Vec<String> = records
         .iter()
-        .filter(|r| r.run == row.run && r.figure == row.figure)
+        .filter(|r| r.run == row.run && r.figure == row.figure && r.cores == row.cores)
         .map(|r| format!("{}:{}", r.config_fingerprint, r.metric_fingerprint))
         .collect();
     pairs.sort_unstable();
     fnv1a_hex(&pairs.join(","))
 }
 
-/// An inline SVG sparkline of events/s across the figure's runs.
-fn sparkline(rows: &[&FigureRun]) -> String {
-    if rows.len() < 2 {
+/// Job-mean simulated headline metrics (throughput TPS, mean response
+/// ms) of one figure-run's rows. Cores-invariant by the engine's
+/// bit-identity guarantee, so the report plots them as drift alarms.
+fn sim_metrics(records: &[Record], row: &FigureRun) -> (f64, f64) {
+    let mut tps = 0.0;
+    let mut resp = 0.0;
+    let mut n = 0usize;
+    for r in records
+        .iter()
+        .filter(|r| r.run == row.run && r.figure == row.figure && r.cores == row.cores)
+    {
+        tps += r.throughput_tps;
+        resp += r.mean_response_ms;
+        n += 1;
+    }
+    let n = n.max(1) as f64;
+    (tps / n, resp / n)
+}
+
+/// One inline SVG polyline over `values` (index on x), labelled with
+/// its range. Empty for fewer than two points.
+fn spark_svg(values: &[f64], color: &str, label: &str, decimals: usize) -> String {
+    if values.len() < 2 {
         return String::new();
     }
     let (w, h, pad) = (260.0f64, 40.0f64, 4.0f64);
-    let rates: Vec<f64> = rows.iter().map(|r| r.events_per_sec()).collect();
-    let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);
-    let points: Vec<String> = rates
+    let points: Vec<String> = values
         .iter()
         .enumerate()
-        .map(|(i, rate)| {
-            let x = pad + (w - 2.0 * pad) * i as f64 / (rates.len() - 1) as f64;
-            let y = h - pad - (h - 2.0 * pad) * (rate - lo) / span;
+        .map(|(i, v)| {
+            let x = pad + (w - 2.0 * pad) * i as f64 / (values.len() - 1) as f64;
+            let y = h - pad - (h - 2.0 * pad) * (v - lo) / span;
             format!("{x:.1},{y:.1}")
         })
         .collect();
     format!(
         "<svg class=\"spark\" width=\"{w:.0}\" height=\"{h:.0}\" \
          viewBox=\"0 0 {w:.0} {h:.0}\"><polyline points=\"{}\" fill=\"none\" \
-         stroke=\"#2563eb\" stroke-width=\"1.5\"/></svg>\
-         <span class=\"meta\"> events/s, {:.0} &ndash; {:.0}</span>\n",
+         stroke=\"{color}\" stroke-width=\"1.5\"/></svg>\
+         <span class=\"meta\"> {label}, {lo:.decimals$} &ndash; {hi:.decimals$}</span>\n",
         points.join(" "),
-        lo,
-        hi
     )
+}
+
+/// The figure's sparkline block: host events/s and the simulated
+/// headline metrics across runs, plus events/s vs engine cores when
+/// the store holds more than one `cores` setting.
+fn sparklines(records: &[Record], rows: &[&FigureRun]) -> String {
+    let mut out = String::new();
+    let rates: Vec<f64> = rows.iter().map(|r| r.events_per_sec()).collect();
+    out.push_str(&spark_svg(&rates, "#2563eb", "events/s", 0));
+    let sims: Vec<(f64, f64)> = rows.iter().map(|r| sim_metrics(records, r)).collect();
+    let tps: Vec<f64> = sims.iter().map(|(t, _)| *t).collect();
+    let resp: Vec<f64> = sims.iter().map(|(_, r)| *r).collect();
+    out.push_str(&spark_svg(&tps, "#15803d", "sim TPS (job mean)", 1));
+    out.push_str(&spark_svg(
+        &resp,
+        "#b45309",
+        "sim mean resp ms (job mean)",
+        1,
+    ));
+
+    // Best events/s per distinct cores value, ascending — the speedup
+    // curve a multi-core host should show rising.
+    let mut per_cores: Vec<(u32, f64)> = Vec::new();
+    for row in rows {
+        let rate = row.events_per_sec();
+        match per_cores.iter_mut().find(|(c, _)| *c == row.cores) {
+            Some((_, best)) => *best = best.max(rate),
+            None => per_cores.push((row.cores, rate)),
+        }
+    }
+    if per_cores.len() >= 2 {
+        per_cores.sort_unstable_by_key(|(c, _)| *c);
+        let curve: Vec<f64> = per_cores.iter().map(|(_, v)| *v).collect();
+        let labels: Vec<String> = per_cores.iter().map(|(c, _)| c.to_string()).collect();
+        out.push_str(&spark_svg(
+            &curve,
+            "#7c3aed",
+            &format!("best events/s at cores {}", labels.join(", ")),
+            0,
+        ));
+    }
+    out
 }
 
 /// `seconds` since the Unix epoch as `YYYY-MM-DD HH:MM` UTC (civil
@@ -213,6 +282,8 @@ mod tests {
             curve: "c".into(),
             nodes,
             seed: 1,
+            cores: 1,
+            host_cpus: 8,
             config_fingerprint: format!("cfg{figure}{nodes}"),
             metric_fingerprint: metric.into(),
             wall_secs: wall,
@@ -240,6 +311,36 @@ mod tests {
         assert_eq!(hash_cells.len(), 6, "two hash cells per row");
         // Escapes interpolated text.
         assert!(!page.contains("<script"), "sanity");
+    }
+
+    #[test]
+    fn parallel_rows_split_and_draw_the_cores_sparkline() {
+        let mut fast_parallel = rec("r2", 1_754_100_000, "fig41", 1, 0.5, "m1");
+        fast_parallel.cores = 4;
+        let records = vec![
+            rec("r1", 1_754_000_000, "fig41", 1, 2.0, "m1"),
+            rec("r2", 1_754_100_000, "fig41", 1, 2.0, "m1"),
+            fast_parallel,
+        ];
+        let page = render(&records);
+        // The cores=4 row has no comparable (same-cores) prior, so its
+        // delta cell is the em-dash, not a percentage against r1.
+        assert_eq!(
+            page.matches("class=\"na\"").count(),
+            2,
+            "first serial row and first cores=4 row both lack a baseline: {page}"
+        );
+        // Two distinct cores values => the events/s-vs-cores sparkline.
+        assert!(
+            page.contains("best events/s at cores 1, 4"),
+            "missing cores sparkline: {page}"
+        );
+        // Simulated metrics are plotted too.
+        assert!(page.contains("sim TPS"), "missing TPS sparkline: {page}");
+        assert!(
+            page.contains("sim mean resp"),
+            "missing response sparkline: {page}"
+        );
     }
 
     #[test]

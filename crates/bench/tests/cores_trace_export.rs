@@ -1,0 +1,51 @@
+//! Exported observation *bytes* are cores-invariant: the Chrome trace
+//! JSON and timeline CSV rendered from a pipeline-engine run
+//! (`RunControl::cores > 1`) must equal the serial engine's output
+//! byte for byte — the files a user diffs after `repro --trace
+//! --cores N` are the same files.
+
+use dbshare_bench::trace_export::{chrome_trace, timeline_csv, TimelineRows};
+use dbshare_model::{CouplingMode, RoutingStrategy, UpdateStrategy};
+use dbshare_sim::experiments::{DebitCreditRun, RunLength, RunSpec};
+use dbshare_sim::Observe;
+
+fn spec() -> RunSpec {
+    RunSpec::DebitCredit(DebitCreditRun {
+        nodes: 2,
+        coupling: CouplingMode::GemLocking,
+        update: UpdateStrategy::NoForce,
+        routing: RoutingStrategy::Random,
+        ..DebitCreditRun::baseline(2, RunLength::quick())
+    })
+}
+
+#[test]
+fn trace_and_timeline_exports_are_byte_identical_across_cores() {
+    let (_, base) = spec().execute_with(1, Observe::full());
+    let base_trace = chrome_trace(&base.trace, 2);
+    let base_csv = timeline_csv(&[TimelineRows {
+        curve: "GEM, NOFORCE",
+        nodes: 2,
+        windows: &base.timeline,
+    }]);
+    assert!(!base.trace.is_empty(), "trace must capture events");
+    assert!(!base.timeline.is_empty(), "timeline must capture windows");
+
+    for cores in [2, 4] {
+        let (_, obs) = spec().execute_with(cores, Observe::full());
+        assert_eq!(
+            chrome_trace(&obs.trace, 2),
+            base_trace,
+            "chrome trace bytes drifted at cores={cores}"
+        );
+        assert_eq!(
+            timeline_csv(&[TimelineRows {
+                curve: "GEM, NOFORCE",
+                nodes: 2,
+                windows: &obs.timeline,
+            }]),
+            base_csv,
+            "timeline CSV bytes drifted at cores={cores}"
+        );
+    }
+}

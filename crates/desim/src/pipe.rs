@@ -1,0 +1,242 @@
+//! Bounded single-producer/single-consumer channels for pipeline
+//! stages.
+//!
+//! The parallel engine (`RunControl::cores` in the `sim` crate) splits
+//! a run into deterministic pipeline stages — arrival pre-generation,
+//! statistics folding, trace sinking — connected by these channels.
+//! They are deliberately minimal: `Mutex` + `Condvar`, no unsafe code,
+//! no external dependencies, FIFO by construction (which is what makes
+//! a downstream stage's fold order bit-identical to the serial
+//! engine's).
+//!
+//! Semantics:
+//!
+//! * [`Sender::send`] blocks while the channel is full and fails (the
+//!   value is handed back) once the receiver is gone — so a producer
+//!   that has run ahead of a finished consumer unblocks and can exit.
+//! * [`Receiver::recv`] blocks while the channel is empty and returns
+//!   `None` once every sender is gone and the buffer is drained — the
+//!   natural shutdown signal for a sink stage.
+//! * [`Sender::try_send`] / [`Receiver::try_recv`] never block; they
+//!   serve opportunistic paths (e.g. recycling spare buffers upstream)
+//!   where dropping on a full channel is acceptable.
+//!
+//! The channel is used single-producer/single-consumer in this
+//! workspace; nothing in the implementation would break with clones,
+//! so the handles simply aren't `Clone` — one owner per end keeps the
+//! shutdown protocol obvious.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    tx_alive: bool,
+    rx_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a bounded channel. Dropping it closes the
+/// channel: the receiver drains what is buffered and then sees `None`.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel. Dropping it causes every
+/// subsequent (or blocked) `send` to fail, handing the value back.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded FIFO channel holding at most `cap` values.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (a rendezvous channel is not supported).
+pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "pipe::channel: capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            tx_alive: true,
+            rx_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full.
+    ///
+    /// Returns `Err(value)` if the receiver has been dropped (including
+    /// while this call was blocked waiting for space).
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        loop {
+            if !st.rx_alive {
+                return Err(value);
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.shared.not_full.wait(st).expect("pipe poisoned");
+        }
+    }
+
+    /// Enqueues `value` without blocking. Returns `Err(value)` if the
+    /// channel is full or the receiver has been dropped.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        if !st.rx_alive || st.buf.len() >= st.cap {
+            return Err(value);
+        }
+        st.buf.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, blocking while the channel is empty.
+    ///
+    /// Returns `None` once the sender has been dropped and the buffer
+    /// is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if !st.tx_alive {
+                return None;
+            }
+            st = self.shared.not_empty.wait(st).expect("pipe poisoned");
+        }
+    }
+
+    /// Dequeues the next value without blocking; `None` if the channel
+    /// is currently empty (whether or not the sender is still alive).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        let v = st.buf.pop_front()?;
+        drop(st);
+        self.shared.not_full.notify_one();
+        Some(v)
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        st.tx_alive = false;
+        drop(st);
+        // Wake a receiver blocked on an empty channel so it can see EOF.
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pipe poisoned");
+        st.rx_alive = false;
+        drop(st);
+        // Wake a sender blocked on a full channel so it can bail out.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn values_arrive_in_fifo_order() {
+        let (tx, rx) = channel(4);
+        let producer = thread::spawn(move || {
+            for i in 0..1000u32 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        for i in 0..1000u32 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None); // sender dropped at thread end
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_sees_eof_after_sender_drop() {
+        let (tx, rx) = channel::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn blocked_send_fails_when_receiver_drops() {
+        let (tx, rx) = channel::<u32>(1);
+        tx.send(1).unwrap(); // fill the channel
+        let sender = thread::spawn(move || tx.send(2)); // blocks
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_closed() {
+        let (tx, rx) = channel::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(2)); // full
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), None); // empty
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(3)); // closed
+    }
+
+    #[test]
+    fn bounded_capacity_backpressures_the_producer() {
+        let (tx, rx) = channel::<u64>(8);
+        let producer = thread::spawn(move || {
+            let mut sum = 0u64;
+            for i in 0..10_000u64 {
+                if tx.send(i).is_err() {
+                    break;
+                }
+                sum += i;
+            }
+            sum
+        });
+        let mut got = 0u64;
+        for _ in 0..10_000 {
+            match rx.recv() {
+                Some(v) => got += v,
+                None => break,
+            }
+        }
+        assert_eq!(rx.recv(), None);
+        assert_eq!(producer.join().unwrap(), got);
+    }
+}

@@ -41,6 +41,9 @@ pub fn records_from_artifact(doc: &Json) -> Result<Vec<Record>, String> {
         .and_then(Json::as_f64)
         .unwrap_or(0.0) as u64;
     let run = format!("artifact-{created_unix}");
+    // Host CPU count is a top-level artifact field (one host per
+    // artifact); 0 when the artifact predates it.
+    let host_cpus = doc.get("host_cpus").and_then(Json::as_f64).unwrap_or(0.0) as u32;
 
     let mut records = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
@@ -63,6 +66,10 @@ pub fn records_from_artifact(doc: &Json) -> Result<Vec<Record>, String> {
             curve: str_field("curve")?,
             nodes: num_field("nodes")? as u16,
             seed: num_field("seed")? as u64,
+            // Lenient like the store's own parse: artifacts written
+            // before the parallel engine carry no cores field.
+            cores: row.get("cores").and_then(Json::as_f64).unwrap_or(1.0) as u32,
+            host_cpus,
             config_fingerprint: str_field("config_fingerprint")?,
             metric_fingerprint: row
                 .get("metric_fingerprint")
@@ -99,6 +106,7 @@ mod tests {
         Json::obj(vec![
             ("schema", Json::Str("dbshare-bench/1".into())),
             ("created_unix", Json::Num(1_700_000_000.0)),
+            ("host_cpus", Json::Num(16.0)),
             (
                 "provenance",
                 Json::obj(vec![
@@ -114,6 +122,7 @@ mod tests {
                     ("curve", Json::Str("GEM".into())),
                     ("nodes", Json::Num(2.0)),
                     ("seed", Json::Num(42.0)),
+                    ("cores", Json::Num(2.0)),
                     ("config_fingerprint", Json::Str("cfg".into())),
                     ("metric_fingerprint", Json::Str("met".into())),
                     ("wall_secs", Json::Num(0.5)),
@@ -136,6 +145,24 @@ mod tests {
         assert_eq!(r.figure, "fig41");
         assert_eq!(r.nodes, 2);
         assert_eq!(r.metric_fingerprint, "met");
+        assert_eq!(r.cores, 2);
+        assert_eq!(r.host_cpus, 16);
+    }
+
+    #[test]
+    fn pre_parallel_artifacts_default_cores_and_host_cpus() {
+        let mut doc = artifact_doc();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "host_cpus");
+            if let Some((_, Json::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == "records") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    row.retain(|(k, _)| k != "cores");
+                }
+            }
+        }
+        let records = records_from_artifact(&doc).expect("legacy artifact converts");
+        assert_eq!(records[0].cores, 1);
+        assert_eq!(records[0].host_cpus, 0);
     }
 
     #[test]

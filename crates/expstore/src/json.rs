@@ -53,6 +53,17 @@ impl Json {
         }
     }
 
+    /// Removes `key` from an object, returning its value if present.
+    /// `None` for absent keys or non-objects.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        if let Json::Obj(fields) = self {
+            if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+                return Some(fields.remove(pos).1);
+            }
+        }
+        None
+    }
+
     /// Looks up `key` in an object; `None` for absent keys or
     /// non-objects.
     pub fn get(&self, key: &str) -> Option<&Json> {

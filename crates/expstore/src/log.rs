@@ -166,6 +166,8 @@ mod tests {
             curve: "c".into(),
             nodes,
             seed: 9,
+            cores: 1,
+            host_cpus: 4,
             config_fingerprint: "cfg".into(),
             metric_fingerprint: "met".into(),
             wall_secs: 1.0,

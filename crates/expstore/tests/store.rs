@@ -37,6 +37,8 @@ fn record(run: &str, figure: &str, nodes: u16, wall: f64) -> Record {
         curve: format!("curve of {figure}, \"quoted\""),
         nodes,
         seed: 0xD5_0000 + u64::from(nodes),
+        cores: 1,
+        host_cpus: 8,
         config_fingerprint: format!("cfg-{figure}-{nodes}"),
         metric_fingerprint: format!("met-{figure}-{nodes}"),
         wall_secs: wall,

@@ -36,6 +36,7 @@ pub fn fingerprint(spec: &RunSpec) -> String {
 pub fn artifact(
     results: &[JobResult],
     workers: usize,
+    host_cpus: u32,
     total_wall_secs: f64,
     created_unix: Option<u64>,
 ) -> Json {
@@ -52,6 +53,7 @@ pub fn artifact(
             },
         ),
         ("workers", Json::Num(workers as f64)),
+        ("host_cpus", Json::Num(f64::from(host_cpus))),
         ("jobs", Json::Num(results.len() as f64)),
         ("total_wall_secs", Json::Num(total_wall_secs)),
         ("total_events", Json::Num(total_events as f64)),
@@ -81,6 +83,7 @@ fn record(result: &JobResult) -> Json {
         ("curve", Json::Str(result.job.curve.clone())),
         ("nodes", Json::Num(f64::from(result.job.nodes))),
         ("seed", Json::Num(result.job.spec.seed() as f64)),
+        ("cores", Json::Num(f64::from(result.job.cores))),
         (
             "config_fingerprint",
             Json::Str(fingerprint(&result.job.spec)),
@@ -152,14 +155,16 @@ mod tests {
                     nodes: 1,
                     spec,
                     observe: crate::Observe::default(),
+                    cores: 1,
                 },
                 report: spec.execute(),
                 observations: crate::Observations::default(),
                 wall_secs: 0.25,
             })
             .collect();
-        let doc = artifact(&results, 2, 1.5, Some(1_700_000_000));
+        let doc = artifact(&results, 2, 8, 1.5, Some(1_700_000_000));
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(doc.get("host_cpus").and_then(Json::as_f64), Some(8.0));
         assert_eq!(doc.get("jobs").and_then(Json::as_f64), Some(3.0));
         let records = doc.get("records").and_then(Json::as_arr).expect("records");
         assert_eq!(records.len(), 3);
@@ -171,6 +176,7 @@ mod tests {
             assert_eq!(rec.get("wall_secs").and_then(Json::as_f64), Some(0.25));
             for key in [
                 "seed",
+                "cores",
                 "config_fingerprint",
                 "metric_fingerprint",
                 "sim_seconds",

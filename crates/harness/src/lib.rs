@@ -78,6 +78,11 @@ pub struct Outcome {
     pub results: Vec<JobResult>,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Engine threads each job ran with (`RunControl::cores`).
+    pub cores: u32,
+    /// Logical CPUs of the host that executed the run (0 when the
+    /// count was unreadable).
+    pub host_cpus: u32,
     /// Wall-clock seconds for the whole pool run.
     pub total_wall_secs: f64,
     /// Unix timestamp the run started, when the clock was readable.
@@ -101,6 +106,7 @@ impl Outcome {
         artifact::artifact(
             &self.results,
             self.workers,
+            self.host_cpus,
             self.total_wall_secs,
             self.created_unix,
         )
@@ -121,6 +127,8 @@ impl Outcome {
                 curve: res.job.curve.clone(),
                 nodes: res.job.nodes,
                 seed: res.job.spec.seed(),
+                cores: res.job.cores,
+                host_cpus: self.host_cpus,
                 config_fingerprint: fingerprint(&res.job.spec),
                 metric_fingerprint: res.report.metric_fingerprint(),
                 wall_secs: res.wall_secs,
@@ -148,6 +156,7 @@ pub struct History {
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
+    cores: u32,
     progress: bool,
     observe: Observe,
     history: Option<History>,
@@ -165,6 +174,7 @@ impl Harness {
     pub fn new() -> Self {
         Harness {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cores: 1,
             progress: false,
             observe: Observe::default(),
             history: None,
@@ -174,6 +184,16 @@ impl Harness {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the engine thread count every job runs with (clamped to at
+    /// least 1; 1 = the serial event loop). Results are bit-identical
+    /// at every setting — only host wall-clock changes — so the
+    /// recorded `cores` value exists to keep perf comparisons
+    /// apples-to-apples, not to distinguish outputs.
+    pub fn cores(mut self, n: u32) -> Self {
+        self.cores = n.max(1);
         self
     }
 
@@ -221,6 +241,7 @@ impl Harness {
                         nodes,
                         spec,
                         observe: self.observe,
+                        cores: self.cores,
                     });
                 }
             }
@@ -271,6 +292,8 @@ impl Harness {
             figures,
             results,
             workers: self.workers,
+            cores: self.cores,
+            host_cpus: std::thread::available_parallelism().map_or(0, |n| n.get()) as u32,
             total_wall_secs,
             created_unix,
             run_id,

@@ -32,6 +32,9 @@ pub struct Job {
     /// Observation settings for the run. The default (all off) keeps
     /// the execution path identical to an unobserved run.
     pub observe: Observe,
+    /// Engine threads for the run (`RunControl::cores`; 1 = serial).
+    /// Results are bit-identical at every setting.
+    pub cores: u32,
 }
 
 /// A completed job: the input [`Job`], the simulator's report, and the
@@ -79,8 +82,8 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult
                 let allocs0 = alloc_track::thread_allocs();
                 let bytes0 = alloc_track::thread_alloc_bytes();
                 let start = Instant::now();
-                let (mut report, observations) = if job.observe.enabled() {
-                    job.spec.execute_observed(job.observe)
+                let (mut report, observations) = if job.observe.enabled() || job.cores > 1 {
+                    job.spec.execute_with(job.cores, job.observe)
                 } else {
                     (job.spec.execute(), Observations::default())
                 };
@@ -141,6 +144,7 @@ mod tests {
                     nodes,
                     spec: RunSpec::DebitCredit(DebitCreditRun::baseline(nodes, TINY)),
                     observe: Observe::default(),
+                    cores: 1,
                 }
             })
             .collect()

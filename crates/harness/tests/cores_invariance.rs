@@ -1,0 +1,100 @@
+//! Cross-`cores` invariance at the harness level, mirroring the
+//! cross-`workers` determinism suite: a grid run executed with the
+//! pipeline engine (`Harness::cores(n)`, n > 1) must produce series,
+//! store rows, and metric fingerprints bit-identical to the serial
+//! engine — only host timing may differ.
+
+use dbshare_harness::{Harness, Json, Sweep};
+use dbshare_sim::experiments::{fig41_grid, RunLength};
+
+const TINY: RunLength = RunLength {
+    warmup: 20,
+    measured: 100,
+};
+
+fn sweeps() -> Vec<Sweep> {
+    vec![Sweep {
+        figure: "fig41".into(),
+        grid: fig41_grid(&[1, 2], TINY),
+    }]
+}
+
+/// Strips the host-dependent fields from an artifact document so the
+/// rest can be compared bit-for-bit — same normalization as the
+/// cross-`workers` determinism test, plus `cores` itself (it is the
+/// variable under test) and the allocation counters (the pipeline
+/// stages allocate channel buffers that never reach any metric).
+fn normalize(doc: &Json) -> Json {
+    fn walk(v: &Json) -> Json {
+        match v {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| {
+                        !matches!(
+                            k.as_str(),
+                            "wall_secs"
+                                | "total_wall_secs"
+                                | "created_unix"
+                                | "workers"
+                                | "host_cpus"
+                                | "cores"
+                                | "events_per_sec"
+                                | "total_allocs"
+                                | "host_allocs"
+                                | "host_alloc_bytes"
+                                | "allocs_per_event"
+                        )
+                    })
+                    .map(|(k, v)| (k.clone(), walk(v)))
+                    .collect(),
+            ),
+            Json::Arr(xs) => Json::Arr(xs.iter().map(walk).collect()),
+            other => other.clone(),
+        }
+    }
+    walk(doc)
+}
+
+#[test]
+fn grid_runs_agree_across_engine_core_counts() {
+    let base = Harness::new().workers(2).cores(1).run(sweeps());
+    for cores in [2, 4] {
+        let got = Harness::new().workers(2).cores(cores).run(sweeps());
+
+        // The reassembled series (every metric of every point) must be
+        // bit-identical: RunReport's Debug rendering shows exact values.
+        assert_eq!(
+            format!("{:?}", got.figures),
+            format!("{:?}", base.figures),
+            "series drifted at cores={cores}"
+        );
+
+        // Store rows agree on everything simulated; `cores` itself is
+        // the recorded engine setting.
+        let prov = Default::default();
+        let base_rows = base.store_records(&prov);
+        let got_rows = got.store_records(&prov);
+        assert_eq!(base_rows.len(), got_rows.len());
+        for (x, y) in base_rows.iter().zip(&got_rows) {
+            assert_eq!(x.cores, 1);
+            assert_eq!(y.cores, cores, "row must record the engine cores");
+            assert_eq!(x.config_fingerprint, y.config_fingerprint);
+            assert_eq!(
+                x.metric_fingerprint, y.metric_fingerprint,
+                "metric fingerprint drifted at cores={cores}"
+            );
+            assert_eq!(x.events_processed, y.events_processed);
+            assert_eq!(x.mean_response_ms.to_bits(), y.mean_response_ms.to_bits());
+            assert_eq!(x.throughput_tps.to_bits(), y.throughput_tps.to_bits());
+        }
+
+        // The artifacts agree byte-for-byte once host-dependent fields
+        // (and the recorded cores value itself) are stripped.
+        assert_eq!(
+            normalize(&base.artifact()).render(),
+            normalize(&got.artifact()).render(),
+            "artifact content drifted at cores={cores}"
+        );
+    }
+}

@@ -522,10 +522,9 @@ impl Engine {
         };
         let node = t.node;
         let waited = (now - t.wait_since).as_nanos();
-        self.metrics
-            .page_req_delay
-            .record((now - t.wait_since).as_millis_f64());
+        let delay_ms = (now - t.wait_since).as_millis_f64();
         t.end_io_wait(now);
+        self.stats_page_req_delay(delay_ms);
         let evicted = self.nodes[node.index()].buffer.insert(page, seqno, false);
         if let Some((victim, _)) = evicted {
             self.start_evict_write(now, node, victim);

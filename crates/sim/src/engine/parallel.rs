@@ -1,0 +1,424 @@
+//! The parallel (`cores > 1`) engine: deterministic pipeline stages.
+//!
+//! The serial event loop is the repo's correctness oracle — stdout,
+//! metric fingerprints, and trace exports are pinned byte-for-byte by
+//! golden tests. True node-partitioned execution cannot reproduce those
+//! bytes: the calendar breaks timestamp ties by global insertion order,
+//! so any change to the *order in which handlers schedule* changes tie
+//! resolution, and the model's shared synchronous resources (GEM
+//! served while the requester holds its CPU, shared disk arrays, the
+//! global lock table) leave µs-scale conservative windows against
+//! ~280ns handlers. See DESIGN.md for the full analysis.
+//!
+//! What *can* run on other cores without perturbing the event stream
+//! is everything that feeds the loop or folds its output:
+//!
+//! * **Arrival source** (`cores >= 2`) — a producer thread owns the
+//!   workload generator and the arrival/workload RNG streams and
+//!   pre-generates `(gap, node, spec)` triples in exactly the inline
+//!   draw order. Those streams are private to the arrival path, so
+//!   pre-drawing them is invisible to every other consumer of
+//!   randomness.
+//! * **Statistics sink** (`cores >= 3`) — a consumer thread owns the
+//!   [`Metrics`] accumulator and applies the engine's record calls in
+//!   strict FIFO order, preserving the floating-point fold order.
+//! * **Trace sink** (`cores >= 4`, only when tracing is on) — a
+//!   consumer thread owns the installed [`TraceSink`] and records
+//!   events in emission order.
+//!
+//! All calendar scheduling stays on the engine thread in unchanged
+//! order, so bit-identity holds *by construction* at every `cores`
+//! value; the cross-`cores` invariance tests enforce it.
+
+use super::Engine;
+use crate::metrics::Metrics;
+use dbshare_model::{NodeId, TxnSpec};
+use dbshare_workload::Workload;
+use desim::pipe::{self, Receiver, Sender};
+use desim::trace::{TraceEvent, TraceSink};
+use desim::{Rng, SimDuration, SimTime};
+
+/// Arrivals per batch sent from the producer to the engine.
+const ARRIVAL_BATCH: usize = 256;
+/// Batches buffered in the arrival channel (bounds producer run-ahead).
+const ARRIVAL_DEPTH: usize = 8;
+/// Spare-spec batches returned to the producer for buffer recycling.
+const SPARE_DEPTH: usize = 8;
+/// Spare specs accumulated engine-side before a return attempt.
+const SPARE_BATCH: usize = 64;
+/// Statistics messages per batch.
+const STATS_BATCH: usize = 256;
+/// Batches buffered in the statistics channel.
+const STATS_DEPTH: usize = 16;
+/// Trace events per batch.
+const TRACE_BATCH: usize = 1024;
+/// Batches buffered in the trace channel.
+const TRACE_DEPTH: usize = 16;
+
+/// One pre-generated arrival: the inter-arrival gap drawn from the
+/// arrival stream and the routed transaction drawn from the workload
+/// stream, in exactly the order the serial loop draws them.
+pub(crate) struct PreArrival {
+    gap: SimDuration,
+    node: NodeId,
+    spec: TxnSpec,
+}
+
+/// Where `Event::Arrival` gets its next transaction from.
+pub(crate) enum ArrivalSource {
+    /// Serial mode: draw inline from the engine-owned RNG streams.
+    Inline,
+    /// Pipeline mode: consume pre-generated arrivals from the producer.
+    Staged(StagedArrivals),
+}
+
+/// Engine-side endpoint of the arrival stage.
+pub(crate) struct StagedArrivals {
+    rx: Receiver<Vec<PreArrival>>,
+    spare_tx: Sender<Vec<TxnSpec>>,
+    batch: std::vec::IntoIter<PreArrival>,
+    spare_buf: Vec<TxnSpec>,
+}
+
+impl StagedArrivals {
+    fn next(&mut self) -> (SimDuration, NodeId, TxnSpec) {
+        loop {
+            if let Some(a) = self.batch.next() {
+                return (a.gap, a.node, a.spec);
+            }
+            let batch = self.rx.recv().expect("arrival producer exited early");
+            self.batch = batch.into_iter();
+        }
+    }
+
+    /// Offers a retired spec's buffers back to the producer. Purely an
+    /// allocation optimization: spares never change generated values
+    /// (the `Workload::next_with` contract), so dropping a batch when
+    /// the return channel is full is harmless.
+    fn return_spare(&mut self, spec: TxnSpec) {
+        self.spare_buf.push(spec);
+        if self.spare_buf.len() >= SPARE_BATCH {
+            let batch = std::mem::replace(&mut self.spare_buf, Vec::with_capacity(SPARE_BATCH));
+            let _ = self.spare_tx.try_send(batch);
+        }
+    }
+}
+
+/// One deferred statistics operation, applied by the sink in FIFO
+/// order — the same call sequence, hence the same floating-point fold
+/// order, as the serial engine.
+pub(crate) enum StatsMsg {
+    /// A measured commit: `record_commit_time` + `record_completion`.
+    Commit {
+        at: SimTime,
+        resp: SimDuration,
+        refs: u32,
+        input: SimDuration,
+        lock: SimDuration,
+        io: SimDuration,
+        cpu_wait: SimDuration,
+        cpu_service: SimDuration,
+    },
+    /// A remote-page wait ended (recorded in warm-up too, exactly like
+    /// the inline path; the rebase discards the pre-measurement ones).
+    PageReqDelay(f64),
+    /// End of warm-up: replace the accumulator with a fresh one.
+    Rebase { started: SimTime },
+}
+
+/// Where metric record calls go.
+pub(crate) enum StatsStage {
+    /// Serial mode: apply to `self.metrics` directly.
+    Inline,
+    /// Pipeline mode: batch onto the statistics channel.
+    Staged {
+        tx: Sender<Vec<StatsMsg>>,
+        buf: Vec<StatsMsg>,
+    },
+}
+
+/// Engine-side endpoint of the trace stage: batches emitted events
+/// toward the thread that owns the sink.
+pub(crate) struct TraceStage {
+    tx: Sender<Vec<TraceEvent>>,
+    buf: Vec<TraceEvent>,
+}
+
+impl TraceStage {
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= TRACE_BATCH {
+            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(TRACE_BATCH));
+            self.tx.send(batch).expect("trace stage exited early");
+        }
+    }
+}
+
+/// The producer thread: pre-generates arrivals until the engine drops
+/// its receiver (run over), then exits.
+fn produce_arrivals(
+    mut workload: Box<dyn Workload + Send>,
+    mut arrival_rng: Rng,
+    mut wl_rng: Rng,
+    mean_gap_us: f64,
+    tx: Sender<Vec<PreArrival>>,
+    spare_rx: Receiver<Vec<TxnSpec>>,
+) {
+    let mut spares: Vec<TxnSpec> = Vec::new();
+    loop {
+        let mut batch = Vec::with_capacity(ARRIVAL_BATCH);
+        for _ in 0..ARRIVAL_BATCH {
+            if spares.is_empty() {
+                while let Some(more) = spare_rx.try_recv() {
+                    spares.extend(more);
+                }
+            }
+            // Draw order per arrival matches the serial loop: gap from
+            // the arrival stream, then the spec from the workload
+            // stream. The streams are independent generators, so batch
+            // pre-drawing yields the very same values.
+            let gap = SimDuration::from_micros_f64(arrival_rng.exp(mean_gap_us));
+            let (node, spec) = workload.next_with(&mut wl_rng, spares.pop());
+            batch.push(PreArrival { gap, node, spec });
+        }
+        if tx.send(batch).is_err() {
+            return; // engine finished; surplus arrivals are discarded
+        }
+    }
+}
+
+/// The statistics thread: folds record calls in arrival order and
+/// hands the finished accumulator back at join.
+fn consume_stats(rx: Receiver<Vec<StatsMsg>>) -> Metrics {
+    let mut m = Metrics::default();
+    while let Some(batch) = rx.recv() {
+        for msg in batch {
+            match msg {
+                StatsMsg::Commit {
+                    at,
+                    resp,
+                    refs,
+                    input,
+                    lock,
+                    io,
+                    cpu_wait,
+                    cpu_service,
+                } => {
+                    m.record_commit_time(at);
+                    m.record_completion(
+                        resp,
+                        refs as usize,
+                        input,
+                        lock,
+                        io,
+                        cpu_wait,
+                        cpu_service,
+                    );
+                }
+                StatsMsg::PageReqDelay(ms) => m.page_req_delay.record(ms),
+                StatsMsg::Rebase { started } => {
+                    m = Metrics {
+                        started,
+                        ..Metrics::default()
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The trace thread: records emitted events in order and hands the
+/// sink back at join.
+fn consume_trace(
+    mut sink: Box<dyn TraceSink + Send>,
+    rx: Receiver<Vec<TraceEvent>>,
+) -> Box<dyn TraceSink + Send> {
+    while let Some(batch) = rx.recv() {
+        for ev in &batch {
+            sink.record(ev);
+        }
+    }
+    sink
+}
+
+impl Engine {
+    /// Runs the event loop, serial or staged per `RunControl::cores`,
+    /// and returns the final simulated instant.
+    pub(crate) fn run_to_end(&mut self) -> SimTime {
+        if self.cfg.run.cores <= 1 {
+            return self.run_loop();
+        }
+        self.run_staged()
+    }
+
+    /// The pipeline orchestrator: spins up the stages the `cores`
+    /// budget affords, runs the unchanged event loop, then tears the
+    /// stages down in dependency order and reclaims their state.
+    fn run_staged(&mut self) -> SimTime {
+        let cores = self.cfg.run.cores;
+        let stage_source = cores >= 2;
+        let stage_stats = cores >= 3;
+        // The trace stage only exists when there is a sink to feed;
+        // otherwise a `cores >= 4` request clamps to three stages.
+        let stage_trace = cores >= 4 && self.tracer.is_some();
+        std::thread::scope(|s| {
+            if stage_source {
+                let (tx, rx) = pipe::channel(ARRIVAL_DEPTH);
+                let (spare_tx, spare_rx) = pipe::channel(SPARE_DEPTH);
+                let workload = self.workload.take().expect("workload installed");
+                let arrival_rng = std::mem::replace(&mut self.arrival_rng, Rng::seed_from_u64(0));
+                let wl_rng = std::mem::replace(&mut self.wl_rng, Rng::seed_from_u64(0));
+                let gap = self.mean_arrival_gap_us;
+                s.spawn(move || produce_arrivals(workload, arrival_rng, wl_rng, gap, tx, spare_rx));
+                self.source = ArrivalSource::Staged(StagedArrivals {
+                    rx,
+                    spare_tx,
+                    batch: Vec::new().into_iter(),
+                    spare_buf: Vec::with_capacity(SPARE_BATCH),
+                });
+            }
+            let stats_handle = if stage_stats {
+                let (tx, rx) = pipe::channel(STATS_DEPTH);
+                self.stats = StatsStage::Staged {
+                    tx,
+                    buf: Vec::with_capacity(STATS_BATCH),
+                };
+                Some(s.spawn(move || consume_stats(rx)))
+            } else {
+                None
+            };
+            let trace_handle = if stage_trace {
+                let (tx, rx) = pipe::channel(TRACE_DEPTH);
+                let sink = self.tracer.take().expect("tracing enabled");
+                self.trace_stage = Some(TraceStage {
+                    tx,
+                    buf: Vec::with_capacity(TRACE_BATCH),
+                });
+                Some(s.spawn(move || consume_trace(sink, rx)))
+            } else {
+                None
+            };
+
+            let now = self.run_loop();
+
+            // Teardown. Dropping the arrival receiver fails the
+            // producer's next send, so it exits even if it ran ahead
+            // of a truncated run.
+            self.source = ArrivalSource::Inline;
+            if let StatsStage::Staged { tx, buf } =
+                std::mem::replace(&mut self.stats, StatsStage::Inline)
+            {
+                if !buf.is_empty() {
+                    assert!(tx.send(buf).is_ok(), "stats stage exited early");
+                }
+            }
+            if let Some(h) = stats_handle {
+                self.metrics = h.join().expect("stats stage panicked");
+            }
+            if let Some(TraceStage { tx, buf }) = self.trace_stage.take() {
+                if !buf.is_empty() {
+                    tx.send(buf).expect("trace stage exited early");
+                }
+            }
+            if let Some(h) = trace_handle {
+                self.tracer = Some(h.join().expect("trace stage panicked"));
+            }
+            now
+        })
+    }
+
+    /// Draws the next arrival — inline in serial mode, from the
+    /// producer in pipeline mode. Identical values either way.
+    pub(crate) fn next_arrival(&mut self) -> (SimDuration, NodeId, TxnSpec) {
+        match &mut self.source {
+            ArrivalSource::Inline => {
+                let gap =
+                    SimDuration::from_micros_f64(self.arrival_rng.exp(self.mean_arrival_gap_us));
+                let spare = self.spare_specs.pop();
+                let (node, spec) = self
+                    .workload
+                    .as_mut()
+                    .expect("workload installed")
+                    .next_with(&mut self.wl_rng, spare);
+                (gap, node, spec)
+            }
+            ArrivalSource::Staged(src) => src.next(),
+        }
+    }
+
+    /// Recycles a retired transaction's spec buffers into the next
+    /// workload draw (engine-local stack in serial mode, returned to
+    /// the producer in pipeline mode).
+    pub(crate) fn recycle_spec(&mut self, spec: TxnSpec) {
+        match &mut self.source {
+            ArrivalSource::Inline => self.spare_specs.push(spec),
+            ArrivalSource::Staged(src) => src.return_spare(spec),
+        }
+    }
+
+    /// Records a measured commit's metrics (directly or via the sink).
+    #[allow(clippy::too_many_arguments)] // one bucket per wait class
+    pub(crate) fn stats_commit(
+        &mut self,
+        at: SimTime,
+        resp: SimDuration,
+        refs: usize,
+        input: SimDuration,
+        lock: SimDuration,
+        io: SimDuration,
+        cpu_wait: SimDuration,
+        cpu_service: SimDuration,
+    ) {
+        match &mut self.stats {
+            StatsStage::Inline => {
+                self.metrics.record_commit_time(at);
+                self.metrics
+                    .record_completion(resp, refs, input, lock, io, cpu_wait, cpu_service);
+            }
+            StatsStage::Staged { .. } => self.stats_push(StatsMsg::Commit {
+                at,
+                resp,
+                refs: refs as u32,
+                input,
+                lock,
+                io,
+                cpu_wait,
+                cpu_service,
+            }),
+        }
+    }
+
+    /// Records one remote-page wait (directly or via the sink).
+    pub(crate) fn stats_page_req_delay(&mut self, ms: f64) {
+        match &mut self.stats {
+            StatsStage::Inline => self.metrics.page_req_delay.record(ms),
+            StatsStage::Staged { .. } => self.stats_push(StatsMsg::PageReqDelay(ms)),
+        }
+    }
+
+    /// Resets the metrics accumulator at end of warm-up (directly or
+    /// via the sink).
+    pub(crate) fn stats_rebase(&mut self, started: SimTime) {
+        match &mut self.stats {
+            StatsStage::Inline => {
+                self.metrics = Metrics {
+                    started,
+                    ..Metrics::default()
+                };
+            }
+            StatsStage::Staged { .. } => self.stats_push(StatsMsg::Rebase { started }),
+        }
+    }
+
+    fn stats_push(&mut self, msg: StatsMsg) {
+        let StatsStage::Staged { tx, buf } = &mut self.stats else {
+            unreachable!("stats_push outside staged mode");
+        };
+        buf.push(msg);
+        if buf.len() >= STATS_BATCH {
+            let batch = std::mem::replace(buf, Vec::with_capacity(STATS_BATCH));
+            assert!(tx.send(batch).is_ok(), "stats stage exited early");
+        }
+    }
+}

@@ -42,12 +42,13 @@ impl Engine {
     /// default sink when [`Observe::trace`] is set is a collecting
     /// [`VecSink`] whose events come back in the run's
     /// [`Observations`].
-    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.tracer = Some(sink);
     }
 
-    /// Emits one trace record if a sink is installed. A single branch
-    /// with integer-only arguments: free when tracing is off.
+    /// Emits one trace record if a sink is installed (directly, or via
+    /// the trace stage of a pipeline run). Integer-only arguments and
+    /// a cheap early-out: free when tracing is off.
     #[inline]
     pub(crate) fn emit(
         &mut self,
@@ -58,17 +59,21 @@ impl Engine {
         page: Option<PageId>,
         arg: u64,
     ) {
-        let Some(sink) = self.tracer.as_mut() else {
+        if self.tracer.is_none() && self.trace_stage.is_none() {
             return;
-        };
-        sink.record(&TraceEvent {
+        }
+        let ev = TraceEvent {
             at,
             kind,
             node: node.raw(),
             txn: txn.map_or(NO_TXN, |t| t.raw()),
             page: page.map_or(NO_PAGE, |p| pack_page(p.partition().raw(), p.number())),
             arg,
-        });
+        };
+        match self.trace_stage.as_mut() {
+            Some(stage) => stage.push(ev),
+            None => self.tracer.as_mut().expect("sink installed").record(&ev),
+        }
     }
 
     /// Cumulative buffer hits and misses across all nodes and
@@ -262,7 +267,7 @@ impl Engine {
         if self.observe.trace && self.tracer.is_none() {
             self.tracer = Some(Box::new(VecSink::new()));
         }
-        let now = self.run_loop();
+        let now = self.run_to_end();
         let timeline = self.flush_timeline(now);
         let trace = self
             .tracer

@@ -121,6 +121,19 @@ impl RunSpec {
         engine.run_observed()
     }
 
+    /// Executes the run on `cores` host threads with the given
+    /// observation settings. The report and observations are
+    /// bit-identical to [`execute_observed`](RunSpec::execute_observed)
+    /// at every `cores` value (the pipeline stages preserve the serial
+    /// event and fold order; see the engine's `parallel` module) —
+    /// only wall-clock changes.
+    pub fn execute_with(&self, cores: u32, observe: Observe) -> (RunReport, Observations) {
+        let mut engine = self.engine();
+        engine.set_cores(cores);
+        engine.set_observe(observe);
+        engine.run_observed()
+    }
+
     /// Builds the configured engine without running it.
     fn engine(&self) -> Engine {
         match *self {

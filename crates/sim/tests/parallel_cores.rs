@@ -1,0 +1,96 @@
+//! Cross-`cores` invariance at the engine level: the pipeline engine
+//! (`RunControl::cores > 1`) must produce reports *and observations*
+//! bit-identical to the serial engine, including under the awkward
+//! shutdown paths — simulated-time truncation (the producer stage has
+//! run ahead of a run that stops early) and crash/recovery schedules.
+
+use dbshare_model::{CouplingMode, CrashConfig, RoutingStrategy, SystemConfig, UpdateStrategy};
+use dbshare_sim::experiments::{DebitCreditRun, RunLength, RunSpec};
+use dbshare_sim::{Engine, Observe};
+use dbshare_workload::{DebitCredit, DebitCreditWorkload, Workload};
+
+fn spec(coupling: CouplingMode, update: UpdateStrategy, nodes: u16) -> RunSpec {
+    RunSpec::DebitCredit(DebitCreditRun {
+        nodes,
+        coupling,
+        update,
+        routing: RoutingStrategy::Random,
+        ..DebitCreditRun::baseline(nodes, RunLength::quick())
+    })
+}
+
+/// Fully observed runs (trace + timeline) must be equal at every stage
+/// count: 2 adds the arrival producer, 3 the statistics sink, 4 the
+/// trace sink.
+#[test]
+fn observed_runs_are_identical_across_cores() {
+    for s in [
+        spec(CouplingMode::GemLocking, UpdateStrategy::NoForce, 2),
+        spec(CouplingMode::Pcl, UpdateStrategy::NoForce, 3),
+    ] {
+        let (base_report, base_obs) = s.execute_with(1, Observe::full());
+        for cores in [2, 3, 4] {
+            let (report, obs) = s.execute_with(cores, Observe::full());
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{base_report:?}"),
+                "report drifted at cores={cores}"
+            );
+            assert_eq!(obs, base_obs, "observations drifted at cores={cores}");
+        }
+    }
+}
+
+fn engine(cores: u32, crash: Option<CrashConfig>, max_sim_secs: Option<f64>) -> Engine {
+    let tps = 100.0;
+    let nodes = 4;
+    let mut cfg = SystemConfig::debit_credit(nodes);
+    cfg.coupling = CouplingMode::GemLocking;
+    cfg.routing = RoutingStrategy::Random;
+    cfg.crash = crash;
+    cfg.run.warmup_txns = 200;
+    cfg.run.measured_txns = 2_000;
+    cfg.run.max_sim_secs = max_sim_secs;
+    cfg.run.cores = cores;
+    let wl = DebitCreditWorkload::new(DebitCredit::new(nodes, tps), tps, RoutingStrategy::Random);
+    cfg.partitions = Workload::partitions(&wl).to_vec();
+    Engine::new(cfg, Box::new(wl)).expect("valid config")
+}
+
+/// A truncated run stops mid-stream with the producer stage holding
+/// pre-generated arrivals; teardown must not hang and the report must
+/// match the serial engine's.
+#[test]
+fn truncated_runs_terminate_and_match() {
+    let base = engine(1, None, Some(2.0)).run();
+    assert!(base.truncated, "run must actually truncate");
+    for cores in [2, 4] {
+        let got = engine(cores, None, Some(2.0)).run();
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{base:?}"),
+            "truncated report drifted at cores={cores}"
+        );
+    }
+}
+
+/// Crash/recovery schedules (aborts, rerouted arrivals, restart RNG
+/// draws) stay engine-side; the pipeline must not perturb them.
+#[test]
+fn crash_runs_match_across_cores() {
+    let crash = Some(CrashConfig {
+        node: 1,
+        at_secs: 3.0,
+        recovery_secs: 2.0,
+    });
+    let base = engine(1, crash, None).run();
+    assert!(base.crash_aborts > 0, "crash must bite");
+    for cores in [2, 4] {
+        let got = engine(cores, crash, None).run();
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{base:?}"),
+            "crash report drifted at cores={cores}"
+        );
+    }
+}
