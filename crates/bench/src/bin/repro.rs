@@ -5,6 +5,7 @@
 //!       [--csv DIR] [--svg DIR] [--trace DIR] [--timeline DIR]
 //!       [--profile] [--alloc-stats] [--compare OLD.json]
 //!       [--history [DIR]] [--report [PATH]] [--no-history] [-v]
+//!       [--scale smoke|full]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -60,6 +61,16 @@
 //! byte-identical across repeated runs and any `--jobs` value; with
 //! neither flag the engine runs the exact unobserved path, leaving
 //! stdout and the allocation profile untouched.
+//!
+//! `--scale smoke|full` adds the memory-lean large-system scenario
+//! family: `full` sweeps 50–200 nodes against a fixed million-account
+//! database (the 200-node endpoint processes on the order of 10^8
+//! calendar events), `smoke` is the CI-sized miniature (≤64 nodes,
+//! 100k accounts). The scale presets carry their own node axes and run
+//! lengths, so `--nodes` and `--quick` do not affect them. Without a
+//! figure selector, `--scale` runs only the scale sweep (figures can
+//! still be requested alongside). Every scale job records its peak-RSS
+//! estimate in the artifact and the experiment store.
 
 use dbshare_bench::chart::Chart;
 use dbshare_bench::html_report;
@@ -116,6 +127,32 @@ struct Figure {
     trace_nodes: bool,
     grid: fn(&[u16], RunLength) -> Vec<CurveGrid>,
 }
+
+// Adapters so the scale presets (which carry their own node axes and
+// run lengths) fit the common `Figure::grid` signature.
+fn scale_smoke_adapter(_nodes: &[u16], _run: RunLength) -> Vec<CurveGrid> {
+    experiments::scale_smoke_grid()
+}
+fn scale_full_adapter(_nodes: &[u16], _run: RunLength) -> Vec<CurveGrid> {
+    experiments::scale_full_grid()
+}
+
+/// The `--scale` scenario family: selected by flag, never by `all`
+/// (the full sweep is deliberately expensive).
+const SCALE_SMOKE: Figure = Figure {
+    name: "scale-smoke",
+    title: "Scale smoke  16-64 nodes, 100k accounts (memory-lean presets)",
+    metric: Metric::MeanResponse,
+    trace_nodes: false,
+    grid: scale_smoke_adapter,
+};
+const SCALE_FULL: Figure = Figure {
+    name: "scale-full",
+    title: "Scale  50-200 nodes, 1M accounts (memory-lean presets)",
+    metric: Metric::MeanResponse,
+    trace_nodes: false,
+    grid: scale_full_adapter,
+};
 
 const FIGURES: &[Figure] = &[
     Figure {
@@ -584,6 +621,7 @@ fn main() {
     let mut show_history = false;
     let mut no_history = false;
     let mut report: Option<Option<String>> = None;
+    let mut scale: Option<&'static Figure> = None;
     // Known figure selectors, needed during parsing too: `--history`
     // and `--report` take *optional* values, so a selector following
     // them must not be swallowed as the value.
@@ -655,6 +693,14 @@ fn main() {
                 }
             }
             "--no-history" => no_history = true,
+            "--scale" => {
+                i += 1;
+                scale = Some(match arg_value(&args, i, "--scale") {
+                    "smoke" => &SCALE_SMOKE,
+                    "full" => &SCALE_FULL,
+                    other => fail(&format!("--scale takes smoke or full, got {other:?}")),
+                });
+            }
             "--report" => {
                 if let Some(path) = optional_value(&args, i) {
                     report = Some(Some(path));
@@ -666,13 +712,15 @@ fn main() {
             other if other.starts_with('-') => fail(&format!(
                 "unknown flag {other:?} (try --quick, --jobs, --cores, --json, --nodes, --csv, \
                  --svg, --trace, --timeline, --profile, --alloc-stats, --compare, --history, \
-                 --report, --no-history, -v)"
+                 --report, --no-history, --scale, -v)"
             )),
             other => which.push(other.to_string()),
         }
         i += 1;
     }
-    if which.is_empty() {
+    // `--scale` alone runs only the scale sweep; figure selectors can
+    // still be added alongside it.
+    if which.is_empty() && scale.is_none() {
         which.push("all".to_string());
     }
     // Reject unknown figure names instead of silently doing nothing.
@@ -716,7 +764,10 @@ fn main() {
     // once, so late jobs of one figure overlap with early jobs of the
     // next. Each run is deterministic and results are reassembled in
     // input order, so stdout is byte-identical for any --jobs value.
-    let wanted: Vec<&Figure> = FIGURES.iter().filter(|f| want(f.name)).collect();
+    let mut wanted: Vec<&Figure> = FIGURES.iter().filter(|f| want(f.name)).collect();
+    if let Some(scale_fig) = scale {
+        wanted.push(scale_fig);
+    }
     let sweeps: Vec<Sweep> = wanted
         .iter()
         .map(|fig| Sweep {

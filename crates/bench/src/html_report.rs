@@ -55,7 +55,7 @@ pub fn render(records: &[Record]) -> String {
         out.push_str(
             "<table>\n<tr><th>run</th><th>when (UTC)</th><th>rev</th><th>jobs</th>\
              <th>cores</th><th>events</th><th>wall s</th><th>events/s</th><th>allocs/ev</th>\
-             <th>TPS</th><th>resp ms</th>\
+             <th>rss MB</th><th>TPS</th><th>resp ms</th>\
              <th>config</th><th>results</th><th>vs best prior</th></tr>\n",
         );
         for (i, row) in fig_rows.iter().enumerate() {
@@ -82,10 +82,16 @@ pub fn render(records: &[Record]) -> String {
                 }
             };
             let (tps, resp) = sim_metrics(records, row);
+            // Largest per-job peak RSS of the row, when sampled —
+            // the memory trend of the scale presets.
+            let rss = match row.peak_rss_mb {
+                Some(mb) => format!("<td>{mb:.0}</td>"),
+                None => "<td class=\"na\">&mdash;</td>".to_string(),
+            };
             out.push_str(&format!(
                 "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
                  <td>{:.2}</td><td>{:.0}</td><td>{:.4}</td>\
-                 <td>{tps:.1}</td><td>{resp:.1}</td>\
+                 {rss}<td>{tps:.1}</td><td>{resp:.1}</td>\
                  <td class=\"hash\">{}</td><td class=\"hash\">{}</td>{}</tr>\n",
                 escape(&row.run),
                 utc_datetime(row.created_unix),
@@ -291,6 +297,7 @@ mod tests {
             allocs_per_event: 0.06,
             mean_response_ms: 50.0,
             throughput_tps: 100.0,
+            peak_rss_mb: Some(64.0),
         }
     }
 
@@ -309,8 +316,20 @@ mod tests {
         // Same results => same result-set hash in both fig41 rows.
         let hash_cells: Vec<&str> = page.matches("class=\"hash\"").collect();
         assert_eq!(hash_cells.len(), 6, "two hash cells per row");
+        // Sampled peak RSS lands in its own column.
+        assert!(page.contains("<th>rss MB</th>"), "missing RSS column");
+        assert!(page.contains("<td>64</td>"), "missing RSS cell: {page}");
         // Escapes interpolated text.
         assert!(!page.contains("<script"), "sanity");
+    }
+
+    #[test]
+    fn missing_rss_samples_render_as_dashes() {
+        let mut legacy = rec("r1", 1_754_000_000, "fig41", 1, 2.0, "m1");
+        legacy.peak_rss_mb = None;
+        let page = render(&[legacy]);
+        // One dash for the missing baseline delta, one for the RSS.
+        assert_eq!(page.matches("class=\"na\"").count(), 2, "{page}");
     }
 
     #[test]

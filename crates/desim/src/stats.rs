@@ -319,6 +319,11 @@ impl DurationHistogram {
 /// the 95% confidence interval is computed from the batch means
 /// (Student-t with a normal approximation for many batches).
 ///
+/// Memory is bounded: once [`BatchMeans::MAX_BATCHES`] batches have
+/// completed, adjacent pairs of means are collapsed (exact, since the
+/// batches are equal-sized) and the batch size doubles, so an
+/// arbitrarily long run holds at most `MAX_BATCHES` stored means.
+///
 /// ```rust
 /// use desim::stats::BatchMeans;
 /// let mut bm = BatchMeans::new(100);
@@ -335,6 +340,9 @@ pub struct BatchMeans {
 }
 
 impl BatchMeans {
+    /// Stored-means ceiling; even, so pair-collapsing is always exact.
+    pub const MAX_BATCHES: usize = 4096;
+
     /// Creates an accumulator with the given observations per batch.
     ///
     /// # Panics
@@ -358,12 +366,34 @@ impl BatchMeans {
             self.means.push(self.batch_sum / self.batch_size as f64);
             self.batch_sum = 0.0;
             self.in_batch = 0;
+            if self.means.len() == Self::MAX_BATCHES {
+                self.collapse();
+            }
         }
+    }
+
+    /// Halves the stored means by averaging adjacent pairs and doubles
+    /// the batch size. Equal-sized batches make the pairwise average
+    /// the exact mean of the combined batch. The in-flight partial
+    /// batch simply keeps filling toward the new, larger size.
+    fn collapse(&mut self) {
+        let half = self.means.len() / 2;
+        for i in 0..half {
+            self.means[i] = (self.means[2 * i] + self.means[2 * i + 1]) / 2.0;
+        }
+        self.means.truncate(half);
+        self.batch_size *= 2;
     }
 
     /// Completed batches.
     pub fn batches(&self) -> usize {
         self.means.len()
+    }
+
+    /// Observations per batch (doubles as the run grows past
+    /// [`Self::MAX_BATCHES`] stored batches).
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
     }
 
     /// Mean of completed batch means.
@@ -506,6 +536,38 @@ mod tests {
         let narrow = bm.ci95_half_width().unwrap();
         assert!(narrow < wide, "{narrow} !< {wide}");
         assert!((bm.grand_mean() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn batch_means_memory_stays_bounded() {
+        // Enough observations for 3x the cap at the initial batch size.
+        let mut bm = BatchMeans::new(4);
+        let total = BatchMeans::MAX_BATCHES as u64 * 4 * 3;
+        for i in 0..total {
+            bm.record((i % 8) as f64);
+        }
+        assert!(bm.batches() < BatchMeans::MAX_BATCHES, "{}", bm.batches());
+        assert!(bm.batch_size() > 4, "batch size never doubled");
+        // The pairwise collapse is exact for equal-sized batches, so
+        // the grand mean over a periodic signal stays exact.
+        assert!((bm.grand_mean() - 3.5).abs() < 1e-9, "{}", bm.grand_mean());
+        assert!(bm.ci95_half_width().is_some());
+    }
+
+    #[test]
+    fn batch_means_collapse_preserves_grand_mean() {
+        // Same data fed to a capped accumulator and an uncapped
+        // reference built from first principles.
+        let mut bm = BatchMeans::new(1);
+        let mut rng = crate::Rng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let total = BatchMeans::MAX_BATCHES as u64 * 2;
+        for _ in 0..total {
+            let x = rng.exp(3.0);
+            sum += x;
+            bm.record(x);
+        }
+        assert!((bm.grand_mean() - sum / total as f64).abs() < 1e-9);
     }
 
     #[test]

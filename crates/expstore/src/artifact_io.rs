@@ -84,6 +84,9 @@ pub fn records_from_artifact(doc: &Json) -> Result<Vec<Record>, String> {
                 .unwrap_or(0.0),
             mean_response_ms: num_field("mean_response_ms")?,
             throughput_tps: num_field("throughput_tps")?,
+            // Optional: artifacts carry Null off Linux, and older
+            // artifacts have no key at all.
+            peak_rss_mb: row.get("peak_rss_mb").and_then(Json::as_f64),
         });
     }
     Ok(records)

@@ -130,6 +130,10 @@ pub struct FigureRun {
     pub events: u64,
     /// Event-weighted allocations per event.
     pub allocs_per_event: f64,
+    /// Largest per-job peak RSS of the run's jobs, in MiB — the
+    /// memory budget the whole figure fit in. `None` when no job
+    /// carried the sample (legacy rows, non-Linux hosts).
+    pub peak_rss_mb: Option<f64>,
     /// FNV-1a over the sorted config fingerprints of the jobs: two
     /// rows are comparable iff this matches.
     pub config_set: String,
@@ -163,6 +167,7 @@ pub fn figure_runs(records: &[Record]) -> Vec<FigureRun> {
                     wall_secs: 0.0,
                     events: 0,
                     allocs_per_event: 0.0,
+                    peak_rss_mb: None,
                     config_set: String::new(),
                 });
                 configs.push(Vec::new());
@@ -172,6 +177,10 @@ pub fn figure_runs(records: &[Record]) -> Vec<FigureRun> {
         rows[at].jobs += 1;
         rows[at].wall_secs += r.wall_secs;
         rows[at].events += r.events_processed;
+        if let Some(mb) = r.peak_rss_mb {
+            let merged = rows[at].peak_rss_mb.map_or(mb, |best| best.max(mb));
+            rows[at].peak_rss_mb = Some(merged);
+        }
         allocs[at] += r.allocs_per_event * r.events_processed as f64;
         configs[at].push(&r.config_fingerprint);
     }
@@ -210,6 +219,7 @@ mod tests {
             allocs_per_event: 0.1,
             mean_response_ms: 1.0,
             throughput_tps: 1.0,
+            peak_rss_mb: None,
         }
     }
 
@@ -256,6 +266,26 @@ mod tests {
         // Different job set => different fingerprint.
         let r1fig45 = rows.iter().find(|r| r.figure == "fig45").expect("fig45");
         assert_ne!(r1fig41.config_set, r1fig45.config_set);
+    }
+
+    #[test]
+    fn figure_runs_keep_the_largest_peak_rss() {
+        // The aggregate reports the *max* job RSS (the budget the
+        // figure needed), and rows without samples stay None.
+        let mut records = sample();
+        records[0].peak_rss_mb = Some(48.0);
+        records[1].peak_rss_mb = Some(96.5);
+        let rows = figure_runs(&records);
+        let r1fig41 = rows
+            .iter()
+            .find(|r| r.run == "r1" && r.figure == "fig41")
+            .expect("r1/fig41");
+        assert_eq!(r1fig41.peak_rss_mb, Some(96.5));
+        let r2fig41 = rows
+            .iter()
+            .find(|r| r.run == "r2" && r.figure == "fig41")
+            .expect("r2/fig41");
+        assert_eq!(r2fig41.peak_rss_mb, None);
     }
 
     #[test]

@@ -175,6 +175,7 @@ mod tests {
             allocs_per_event: 0.0,
             mean_response_ms: 1.0,
             throughput_tps: 1.0,
+            peak_rss_mb: None,
         }
     }
 

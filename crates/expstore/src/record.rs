@@ -71,6 +71,12 @@ pub struct Record {
     pub mean_response_ms: f64,
     /// Headline simulated metric: system throughput in TPS.
     pub throughput_tps: f64,
+    /// Process peak RSS in MiB sampled after the job (an upper-bound
+    /// estimate — the high-water mark is process-wide). `None` on
+    /// platforms without the figure and on rows written before the
+    /// field existed; rendered only when present so legacy rows
+    /// re-serialize byte-identically.
+    pub peak_rss_mb: Option<f64>,
 }
 
 impl Record {
@@ -82,7 +88,7 @@ impl Record {
     /// The record as a [`Json`] object with the store's fixed key
     /// order.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("v", Json::Num(SCHEMA_VERSION as f64)),
             ("run", Json::Str(self.run.clone())),
             ("created_unix", Json::Num(self.created_unix as f64)),
@@ -117,7 +123,13 @@ impl Record {
             ("allocs_per_event", Json::Num(self.allocs_per_event)),
             ("mean_response_ms", Json::Num(self.mean_response_ms)),
             ("throughput_tps", Json::Num(self.throughput_tps)),
-        ])
+        ]);
+        // Optional trailer: present only when sampled, so rows without
+        // it (legacy rows, non-Linux hosts) re-render byte-identically.
+        if let Some(mb) = self.peak_rss_mb {
+            doc.set("peak_rss_mb", Json::Num(mb));
+        }
+        doc
     }
 
     /// Renders the record as one store line (no trailing newline).
@@ -168,6 +180,7 @@ impl Record {
             allocs_per_event: num_field("allocs_per_event")?,
             mean_response_ms: num_field("mean_response_ms")?,
             throughput_tps: num_field("throughput_tps")?,
+            peak_rss_mb: doc.get("peak_rss_mb").and_then(Json::as_f64),
         })
     }
 
@@ -216,6 +229,7 @@ mod tests {
             allocs_per_event: 0.0625,
             mean_response_ms: 71.7,
             throughput_tps: 197.0,
+            peak_rss_mb: None,
         }
     }
 
@@ -227,6 +241,20 @@ mod tests {
         let back = Record::from_line(&line).expect("parses back");
         assert_eq!(back, rec);
         // Re-serialization of the parsed record is byte-identical.
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn peak_rss_round_trips_and_stays_optional() {
+        let mut rec = sample("fig41", 2, 9);
+        // Absent: the rendered line must not mention the key at all,
+        // so rows written before the field existed stay byte-stable.
+        assert!(!rec.to_line().contains("peak_rss_mb"));
+        rec.peak_rss_mb = Some(512.25);
+        let line = rec.to_line();
+        assert!(line.contains("peak_rss_mb"));
+        let back = Record::from_line(&line).expect("parses back");
+        assert_eq!(back.peak_rss_mb, Some(512.25));
         assert_eq!(back.to_line(), line);
     }
 

@@ -46,6 +46,7 @@ fn record(run: &str, figure: &str, nodes: u16, wall: f64) -> Record {
         allocs_per_event: 0.0646,
         mean_response_ms: 71.25,
         throughput_tps: 196.5,
+        peak_rss_mb: None,
     }
 }
 

@@ -43,6 +43,10 @@ pub fn artifact(
     let records: Vec<Json> = results.iter().map(record).collect();
     let total_events: u64 = results.iter().map(|r| r.report.events_processed).sum();
     let total_allocs: u64 = results.iter().map(|r| r.report.profile.host_allocs).sum();
+    let peak_rss = results
+        .iter()
+        .filter_map(|r| r.peak_rss_mb)
+        .fold(None::<f64>, |acc, mb| Some(acc.map_or(mb, |a| a.max(mb))));
     Json::obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         (
@@ -65,6 +69,13 @@ pub fn artifact(
         (
             "allocs_per_event",
             Json::Num(total_allocs as f64 / (total_events.max(1)) as f64),
+        ),
+        (
+            "peak_rss_mb",
+            match peak_rss {
+                Some(mb) => Json::Num(mb),
+                None => Json::Null,
+            },
         ),
         ("records", Json::Arr(records)),
     ])
@@ -90,6 +101,13 @@ fn record(result: &JobResult) -> Json {
         ),
         ("metric_fingerprint", Json::Str(r.metric_fingerprint())),
         ("wall_secs", Json::Num(result.wall_secs)),
+        (
+            "peak_rss_mb",
+            match result.peak_rss_mb {
+                Some(mb) => Json::Num(mb),
+                None => Json::Null,
+            },
+        ),
         ("events_processed", Json::Num(r.events_processed as f64)),
         (
             "events_per_sec",
@@ -160,12 +178,14 @@ mod tests {
                 report: spec.execute(),
                 observations: crate::Observations::default(),
                 wall_secs: 0.25,
+                peak_rss_mb: Some(128.0),
             })
             .collect();
         let doc = artifact(&results, 2, 8, 1.5, Some(1_700_000_000));
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(doc.get("host_cpus").and_then(Json::as_f64), Some(8.0));
         assert_eq!(doc.get("jobs").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("peak_rss_mb").and_then(Json::as_f64), Some(128.0));
         let records = doc.get("records").and_then(Json::as_arr).expect("records");
         assert_eq!(records.len(), 3);
         for (i, rec) in records.iter().enumerate() {

@@ -29,6 +29,7 @@
 pub mod alloc_track;
 pub mod artifact;
 pub mod pool;
+pub mod rss;
 
 pub use alloc_track::CountingAlloc;
 pub use artifact::{fingerprint, write_artifact, SCHEMA};
@@ -136,6 +137,7 @@ impl Outcome {
                 allocs_per_event: res.report.profile.allocs_per_event(),
                 mean_response_ms: res.report.mean_response_ms,
                 throughput_tps: res.report.throughput_tps,
+                peak_rss_mb: res.peak_rss_mb,
             })
             .collect()
     }

@@ -50,6 +50,10 @@ pub struct JobResult {
     pub observations: Observations,
     /// Host wall-clock seconds spent executing the job.
     pub wall_secs: f64,
+    /// Process peak RSS in MiB sampled right after the job finished
+    /// (`None` off Linux). Process-wide high-water mark: an
+    /// upper-bound estimate for this job, not an isolated measurement.
+    pub peak_rss_mb: Option<f64>,
 }
 
 /// Runs `jobs` on `workers` threads and returns the results **in input
@@ -95,6 +99,7 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult
                     report,
                     observations,
                     wall_secs,
+                    peak_rss_mb: crate::rss::peak_rss_mb(),
                 };
                 if tx.send((index, result)).is_err() {
                     break; // receiver gone: nothing left to report to

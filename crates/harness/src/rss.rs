@@ -1,0 +1,44 @@
+//! Peak resident-set-size sampling.
+//!
+//! Reads the process high-water mark (`VmHWM`) from
+//! `/proc/self/status` — no dependencies, Linux only; other platforms
+//! report `None` and every consumer treats the figure as optional.
+//! The value is process-wide, so per-job samples taken after a job
+//! finishes are an *upper-bound estimate* for that job (earlier jobs
+//! in the same process may have set the mark). That is exactly the
+//! number the scale scenarios budget against: what the whole run
+//! needed from the machine.
+
+/// Process peak RSS in mebibytes, if the platform exposes it.
+pub fn peak_rss_mb() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        // Format: "VmHWM:     123456 kB"
+        let kb: f64 = line
+            .strip_prefix("VmHWM:")?
+            .trim()
+            .strip_suffix("kB")?
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kb / 1024.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let mb = peak_rss_mb().expect("VmHWM present on Linux");
+        assert!(mb > 0.0, "{mb}");
+    }
+}

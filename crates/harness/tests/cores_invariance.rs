@@ -44,6 +44,7 @@ fn normalize(doc: &Json) -> Json {
                                 | "host_allocs"
                                 | "host_alloc_bytes"
                                 | "allocs_per_event"
+                                | "peak_rss_mb"
                         )
                     })
                     .map(|(k, v)| (k.clone(), walk(v)))

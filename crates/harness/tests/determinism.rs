@@ -96,6 +96,7 @@ fn artifacts_from_different_worker_counts_agree_on_everything_but_timing() {
                                     | "created_unix"
                                     | "workers"
                                     | "events_per_sec"
+                                    | "peak_rss_mb"
                             )
                         })
                         .map(|(k, v)| (k.clone(), walk(v)))

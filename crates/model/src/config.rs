@@ -409,6 +409,17 @@ pub struct SystemConfig {
     pub lock_engine: LockEngineConfig,
     /// Optional node-failure injection.
     pub crash: Option<CrashConfig>,
+    /// Pre-size budget (entries) for each page-metadata structure —
+    /// lock tables, GLA page maps, read-authorization tables. `None`
+    /// keeps the historical dense pre-sizing (twice the buffer
+    /// capacity per node); `Some(n)` caps every such pre-allocation at
+    /// `n` entries, with entries past the budget materialized lazily
+    /// on first touch. Purely a memory/allocation knob: results are
+    /// bit-identical at every setting (no hash-map iteration order
+    /// escapes into outputs), which the scale scenarios rely on to
+    /// keep 200-node configs from pre-allocating
+    /// `buffer × nodes`-sized tables up front.
+    pub page_metadata_budget: Option<usize>,
     /// Run length and seeding.
     pub run: RunControl,
 }
@@ -437,6 +448,7 @@ impl SystemConfig {
             log_storage: LogStorage::Disk,
             lock_engine: LockEngineConfig::default(),
             crash: None,
+            page_metadata_budget: None,
             run: RunControl::default(),
         }
     }

@@ -284,7 +284,7 @@ impl Engine {
                 id,
                 PendingWrite {
                     gla: node,
-                    acks_left: out.revoke.len() as u32,
+                    acks_left: out.revoke.len() as u64,
                     granted: out.reply != LockReply::Queued,
                     ctx: ReqCtx {
                         from: node,

@@ -354,15 +354,23 @@ impl Engine {
             ("pagewait", Phase::PageWait),
             ("commitio", Phase::CommitIo),
         ];
-        let mut counts = [0usize; PHASES.len()];
+        // One extra bucket for phases the table doesn't know: a stuck
+        // run's diagnostic must degrade to "other", never panic.
+        let mut counts = [0usize; PHASES.len() + 1];
         for t in self.txns.values() {
-            counts[PHASES.iter().position(|&(_, p)| p == t.phase).unwrap()] += 1;
+            let bucket = PHASES
+                .iter()
+                .position(|&(_, p)| p == t.phase)
+                .unwrap_or(PHASES.len());
+            counts[bucket] += 1;
         }
         let summary: Vec<String> = PHASES
             .iter()
+            .map(|&(label, _)| label)
+            .chain(std::iter::once("other"))
             .zip(counts)
             .filter(|&(_, c)| c > 0)
-            .map(|(&(label, _), c)| format!("{label}: {c}"))
+            .map(|(label, c)| format!("{label}: {c}"))
             .collect();
         eprintln!(
             "STUCK phases: {{{}}} live={}",
@@ -663,6 +671,7 @@ impl Engine {
             sim_seconds: span,
             throughput_tps: self.measured as f64 / span,
             throughput_timeline: std::mem::take(&mut self.metrics.timeline),
+            timeline_bucket_secs: self.metrics.timeline_bucket_secs,
             mean_response_ms: self.metrics.resp.mean(),
             response_ci95_ms: self.metrics.resp_batches.ci95_half_width(),
             p50_response_ms: self.metrics.resp_hist.percentile(50.0).as_millis_f64(),

@@ -224,7 +224,7 @@ impl Engine {
                 txn,
                 PendingWrite {
                     gla: gla_node,
-                    acks_left: out.revoke.len() as u32,
+                    acks_left: out.revoke.len() as u64,
                     granted: out.reply != LockReply::Queued,
                     ctx,
                 },
@@ -574,5 +574,43 @@ impl Engine {
                 None,
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbshare_model::PartitionId;
+
+    /// Regression for the `out.revoke.len() as u32` truncation: a
+    /// revoke set one wider than `u32::MAX` used to wrap `acks_left`
+    /// to 1, granting the write lock after a single acknowledgement
+    /// with ~4 billion revocations still outstanding. The counter is
+    /// `u64` now; walk it across the old boundary and check it
+    /// neither wraps nor reaches zero early.
+    #[test]
+    fn acks_left_counts_past_the_u32_boundary() {
+        let wide = u64::from(u32::MAX) + 2;
+        let mut pw = PendingWrite {
+            gla: NodeId::new(0),
+            acks_left: wide,
+            granted: true,
+            ctx: ReqCtx {
+                from: NodeId::new(0),
+                page: PageId::new(PartitionId::new(0), 0),
+                mode: LockMode::Write,
+                cached: None,
+            },
+        };
+        // The ack handler's exact arithmetic (messages.rs RevokeAck).
+        for acked in 1..=3u64 {
+            pw.acks_left = pw.acks_left.saturating_sub(1);
+            assert_eq!(pw.acks_left, wide - acked);
+            assert_ne!(pw.acks_left, 0, "granted with acks outstanding");
+        }
+        // And the conversion from a usize revoke-set length is
+        // lossless for every representable length (64-bit hosts).
+        let len: usize = 5_000_000_000usize;
+        assert_eq!(len as u64, 5_000_000_000u64);
     }
 }

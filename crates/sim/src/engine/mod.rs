@@ -66,7 +66,10 @@ pub(crate) struct ReqCtx {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingWrite {
     pub gla: NodeId,
-    pub acks_left: u32,
+    /// Revocation acks still outstanding. `u64`: the revoke set can
+    /// hold every node in the system, and a `u32` cast of a `usize`
+    /// length would wrap silently rather than fail.
+    pub acks_left: u64,
     pub granted: bool,
     pub ctx: ReqCtx,
 }
@@ -168,10 +171,16 @@ impl Engine {
         let storage = StorageSubsystem::new(&cfg);
         // Hot maps are pre-sized from the configuration so the steady
         // state never rehashes: the MPL bounds live transactions, the
-        // buffer capacity bounds hot page-table entries.
+        // buffer capacity bounds hot page-table entries. A
+        // `page_metadata_budget` caps every page-keyed pre-allocation;
+        // entries past the cap are materialized lazily on first touch,
+        // which trades a few early rehashes for not committing
+        // `buffer × nodes` entries of RAM up front on 200-node runs.
         let live = cfg.mpl_per_node as usize * cfg.nodes as usize;
         let admissions = (cfg.run.warmup_txns + cfg.run.measured_txns) as usize + live;
         let hot_pages = cfg.buffer_pages_per_node as usize * 2;
+        let budget = cfg.page_metadata_budget;
+        let page_cap = |req: usize| budget.map_or(req, |b| req.min(b));
         let nodes = (0..cfg.nodes)
             .map(|i| NodeCtx {
                 cpus: Resource::new(cfg.cpu.cpus_per_node),
@@ -184,7 +193,7 @@ impl Engine {
             })
             .collect();
         let gla = (0..cfg.nodes)
-            .map(|_| GlaState::with_capacity(hot_pages, live))
+            .map(|_| GlaState::with_capacity(page_cap(hot_pages), live))
             .collect();
         let gla_map = workload.gla_map();
         let part_locking = cfg.partitions.iter().map(|p| p.locking).collect();
@@ -195,7 +204,7 @@ impl Engine {
             workload: Some(workload),
             storage,
             nodes,
-            glt: GemLockTable::with_capacity(hot_pages * cfg.nodes as usize, live),
+            glt: GemLockTable::with_capacity(page_cap(hot_pages * cfg.nodes as usize), live),
             gla,
             gla_map,
             txns: TxnTable::with_capacity(live, admissions),

@@ -195,8 +195,8 @@ impl Engine {
             }
         };
         let mut cpu_util = Vec::with_capacity(self.nodes.len());
-        let mut mpl_in_use = 0u32;
-        let mut mpl_queue = 0u32;
+        let mut mpl_in_use = 0u64;
+        let mut mpl_queue = 0u64;
         for (i, ctx) in self.nodes.iter().enumerate() {
             let busy = ctx.cpus.busy_integral_at(now) - tl.last_cpu_busy[i];
             cpu_util.push(if span > 0.0 {
@@ -205,14 +205,14 @@ impl Engine {
                 0.0
             });
             tl.last_cpu_busy[i] = ctx.cpus.busy_integral_at(now);
-            mpl_in_use += ctx.mpl.in_use();
-            mpl_queue += ctx.mpl.queue_len() as u32;
+            mpl_in_use += u64::from(ctx.mpl.in_use());
+            mpl_queue += ctx.mpl.queue_len() as u64;
         }
         let lock_wait_depth = self
             .txns
             .values()
             .filter(|t| t.phase == Phase::LockWait)
-            .count() as u32;
+            .count() as u64;
         tl.windows.push(TimelineWindow {
             start: tl.window_start,
             width,

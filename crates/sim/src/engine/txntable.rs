@@ -14,12 +14,43 @@
 //! (unlike the randomly seeded `std` map it replaced), but *not* id
 //! order; callers that feed iteration into output sort first, exactly
 //! as they had to before.
+//!
+//! The index is a *sliding window*: ids are monotonic and the live set
+//! is bounded by the MPL, so once the all-`NIL` prefix of completed
+//! transactions dominates the vector it is drained and `base` advanced
+//! ([`TxnTable::compact`]). Lookups below `base` resolve to `None` —
+//! exactly what the retained `NIL` entries resolved to — so compaction
+//! is invisible to every caller while bounding index memory to the
+//! live id *span* instead of 4 bytes per transaction ever admitted
+//! (hundreds of megabytes on billion-event scale runs).
 
 use super::Txn;
 use dbshare_model::{NodeId, TxnId, TxnSpec};
 use desim::SimTime;
 
 const NIL: u32 = u32::MAX;
+
+/// Below this index length compaction is not attempted: the paper-scale
+/// runs stay under it and keep their exact historical allocation
+/// profile; scale runs cross it within the first second of sim time.
+const COMPACT_MIN: usize = 1 << 14;
+
+/// Largest index pre-allocation honoured by [`TxnTable::with_capacity`]
+/// — beyond it the sliding window makes up-front sizing pointless.
+const MAX_INDEX_PREALLOC: usize = 1 << 20;
+
+/// Converts a slab position to its `u32` slot index, refusing to wrap
+/// into the `NIL` sentinel: at 2^32-1 concurrently live transactions
+/// the table fails loudly instead of silently aliasing slot `NIL`
+/// (which every lookup treats as "completed").
+fn checked_slot(pos: usize) -> u32 {
+    match u32::try_from(pos) {
+        Ok(s) if s != NIL => s,
+        _ => panic!(
+            "TxnTable slab overflow: {pos} concurrent transactions exceed the u32 slot range"
+        ),
+    }
+}
 
 #[derive(Debug)]
 pub(crate) struct TxnTable {
@@ -29,21 +60,53 @@ pub(crate) struct TxnTable {
     /// slots are distinguished by their id mapping to `NIL` in `index`.
     slots: Vec<Option<Txn>>,
     free: Vec<u32>,
-    /// `TxnId::raw() → slot`, `NIL` once completed/aborted.
+    /// `TxnId::raw() - base → slot`, `NIL` once completed/aborted.
     index: Vec<u32>,
+    /// First id still covered by `index`; every id below it completed.
+    base: u64,
+    /// Admissions since the last compaction attempt (amortizes the
+    /// prefix scan).
+    since_compact: usize,
     live: usize,
 }
 
 impl TxnTable {
     /// Creates a table pre-sized for `live` concurrently active
-    /// transactions (the MPL bound) and `total` admissions overall.
+    /// transactions (the MPL bound) and `total` admissions overall
+    /// (capped: the sliding index never needs more than a window).
     pub fn with_capacity(live: usize, total: usize) -> Self {
         TxnTable {
             slots: Vec::with_capacity(live),
             free: Vec::new(),
-            index: Vec::with_capacity(total),
+            index: Vec::with_capacity(total.min(MAX_INDEX_PREALLOC)),
+            base: 0,
+            since_compact: 0,
             live: 0,
         }
+    }
+
+    /// Drops the all-`NIL` prefix once it dominates the index. Called
+    /// every `COMPACT_MIN` admissions; the scan touches at most the
+    /// prefix it would drain, so the cost is amortized constant.
+    fn compact(&mut self) {
+        self.since_compact += 1;
+        if self.since_compact < COMPACT_MIN || self.index.len() < COMPACT_MIN {
+            return;
+        }
+        self.since_compact = 0;
+        let nil_prefix = self.index.iter().take_while(|&&s| s == NIL).count();
+        if nil_prefix * 2 >= self.index.len() {
+            self.index.drain(..nil_prefix);
+            self.base += nil_prefix as u64;
+            self.index.shrink_to(self.index.len().max(COMPACT_MIN));
+        }
+    }
+
+    /// `TxnId::raw() → index position`, `None` for ids already slid
+    /// out of the window (always completed ones).
+    #[inline]
+    fn pos_of(&self, raw: u64) -> Option<usize> {
+        raw.checked_sub(self.base).map(|p| p as usize)
     }
 
     /// Admits a transaction, reusing a freed slot when one exists. A
@@ -61,7 +124,10 @@ impl TxnTable {
         arrival: SimTime,
         restarts: u32,
     ) {
-        let raw = id.raw() as usize;
+        self.compact();
+        let raw = self
+            .pos_of(id.raw())
+            .expect("TxnId below the slid-out window — ids must be fresh");
         debug_assert!(
             raw >= self.index.len(),
             "TxnId {raw} reused — ids must be fresh"
@@ -80,7 +146,7 @@ impl TxnTable {
             None => {
                 self.slots
                     .push(Some(Txn::new(id, node, spec, arrival, restarts)));
-                (self.slots.len() - 1) as u32
+                checked_slot(self.slots.len() - 1)
             }
         };
         self.index[raw] = slot;
@@ -95,14 +161,15 @@ impl TxnTable {
         let Some(s) = self.slot_of(*id) else {
             return;
         };
-        self.index[id.raw() as usize] = NIL;
+        let pos = self.pos_of(id.raw()).expect("slot_of checked the window");
+        self.index[pos] = NIL;
         self.free.push(s as u32);
         self.live -= 1;
     }
 
     #[inline]
     fn slot_of(&self, id: TxnId) -> Option<usize> {
-        match self.index.get(id.raw() as usize) {
+        match self.index.get(self.pos_of(id.raw())?) {
             Some(&s) if s != NIL => Some(s as usize),
             _ => None,
         }
@@ -114,7 +181,10 @@ impl TxnTable {
     /// [`Self::admit`]; this is the test-side primitive.
     #[cfg(test)]
     pub fn insert(&mut self, id: TxnId, txn: Txn) {
-        let raw = id.raw() as usize;
+        self.compact();
+        let raw = self
+            .pos_of(id.raw())
+            .expect("TxnId below the slid-out window — ids must be fresh");
         debug_assert!(
             raw >= self.index.len(),
             "TxnId {raw} reused — ids must be fresh"
@@ -129,7 +199,7 @@ impl TxnTable {
             }
             None => {
                 self.slots.push(Some(txn));
-                (self.slots.len() - 1) as u32
+                checked_slot(self.slots.len() - 1)
             }
         };
         self.index[raw] = slot;
@@ -154,7 +224,8 @@ impl TxnTable {
 
     pub fn remove(&mut self, id: &TxnId) -> Option<Txn> {
         let s = self.slot_of(*id)?;
-        self.index[id.raw() as usize] = NIL;
+        let pos = self.pos_of(id.raw()).expect("slot_of checked the window");
+        self.index[pos] = NIL;
         self.free.push(s as u32);
         self.live -= 1;
         self.slots[s].take()
@@ -262,6 +333,48 @@ mod tests {
         // removal (abort path) empties the slot instead
         t.remove(&TxnId::new(1)).unwrap();
         assert_eq!(t.values().count(), 0);
+    }
+
+    #[test]
+    fn index_window_slides_and_lookups_survive() {
+        let mut t = TxnTable::with_capacity(2, 64);
+        // Drive far past COMPACT_MIN with a bounded live set.
+        let total = (COMPACT_MIN * 3) as u64;
+        for id in 0..total {
+            t.insert(TxnId::new(id), mk(id));
+            if id >= 2 {
+                t.remove(&TxnId::new(id - 2));
+            }
+        }
+        assert_eq!(t.len(), 2);
+        // The index slid: it holds a window, not 4 bytes per id ever.
+        assert!(t.base > 0, "index never compacted");
+        assert!(
+            t.index.len() < COMPACT_MIN * 2,
+            "index grew unboundedly: {}",
+            t.index.len()
+        );
+        // Live ids still resolve; slid-out (completed) ids resolve to
+        // None — exactly as their retained NIL entries did.
+        assert!(t.contains_key(&TxnId::new(total - 1)));
+        assert!(t.contains_key(&TxnId::new(total - 2)));
+        assert!(t.get(&TxnId::new(0)).is_none());
+        assert!(!t.contains_key(&TxnId::new(t.base - 1)));
+        let mut ids: Vec<u64> = t.iter().map(|(id, _)| id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![total - 2, total - 1]);
+    }
+
+    #[test]
+    fn slot_indices_are_checked_against_the_nil_sentinel() {
+        assert_eq!(checked_slot(0), 0);
+        assert_eq!(checked_slot(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "TxnTable slab overflow")]
+    fn slot_index_overflow_fails_loudly_instead_of_wrapping() {
+        checked_slot(NIL as usize);
     }
 
     #[test]

@@ -101,6 +101,8 @@ pub enum RunSpec {
     },
     /// A trace-driven run (Fig. 4.7).
     Trace(TraceRun),
+    /// A memory-lean large-system run (the `--scale` family).
+    Scale(ScaleRun),
 }
 
 impl RunSpec {
@@ -145,6 +147,7 @@ impl RunSpec {
                 cfg.lock_engine.op_service_us = op_service_us
             }),
             RunSpec::Trace(p) => trace_engine(p),
+            RunSpec::Scale(p) => scale_engine(p),
         }
     }
 
@@ -153,6 +156,7 @@ impl RunSpec {
         match *self {
             RunSpec::DebitCredit(p) | RunSpec::LockEngine { params: p, .. } => p.nodes,
             RunSpec::Trace(p) => p.nodes,
+            RunSpec::Scale(p) => p.nodes,
         }
     }
 
@@ -161,6 +165,7 @@ impl RunSpec {
         match *self {
             RunSpec::DebitCredit(p) | RunSpec::LockEngine { params: p, .. } => p.seed,
             RunSpec::Trace(p) => p.seed,
+            RunSpec::Scale(p) => p.seed,
         }
     }
 }
@@ -335,6 +340,97 @@ fn debit_credit_engine_at(
         return Engine::new(cfg, Box::new(central)).expect("valid experiment configuration");
     }
     Engine::new(cfg, Box::new(wl)).expect("valid experiment configuration")
+}
+
+/// Parameters of one memory-lean scale run. Unlike [`DebitCreditRun`],
+/// the database size is explicit instead of rate-coupled (a 200-node
+/// Table 4.1 database would hold two billion accounts), and every
+/// page-metadata pre-allocation is capped by a budget so the engine
+/// materializes large-system state lazily.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRun {
+    /// Number of nodes (the paper's figures stop at 8; scale runs
+    /// probe 50–200).
+    pub nodes: u16,
+    /// Total accounts (branches = nodes, accounts divided evenly).
+    pub accounts: u64,
+    /// Concurrency/coherency protocol.
+    pub coupling: CouplingMode,
+    /// Arrival rate per node in TPS.
+    pub tps_per_node: f64,
+    /// Cap on every page-metadata pre-allocation, in entries
+    /// ([`SystemConfig::page_metadata_budget`]).
+    pub page_metadata_budget: usize,
+    /// Run length.
+    pub run: RunLength,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Builds the engine for a scale run. The geometry uses
+/// [`DebitCredit::with_accounts`]; everything else follows the §4.2
+/// baseline (NOFORCE, affinity routing, buffer 200, plain disks).
+fn scale_engine(p: ScaleRun) -> Engine {
+    let mut cfg = SystemConfig::debit_credit(p.nodes);
+    cfg.arrival_tps_per_node = p.tps_per_node;
+    cfg.coupling = p.coupling;
+    cfg.run.warmup_txns = p.run.warmup;
+    cfg.run.measured_txns = p.run.measured;
+    cfg.run.seed = p.seed;
+    cfg.page_metadata_budget = Some(p.page_metadata_budget);
+    let dc = DebitCredit::with_accounts(p.nodes, p.accounts);
+    let wl = DebitCreditWorkload::new(dc, p.tps_per_node, RoutingStrategy::Affinity);
+    cfg.partitions = Workload::partitions(&wl).to_vec();
+    Engine::new(cfg, Box::new(wl)).expect("valid scale configuration")
+}
+
+/// Node axis of the full scale sweep (`--scale full`). The 200-node
+/// endpoint is the headline run: one million accounts, on the order of
+/// a hundred million calendar events.
+pub const SCALE_FULL_NODES: &[u16] = &[50, 100, 200];
+/// Node axis of the CI-sized smoke sweep (`--scale smoke`).
+pub const SCALE_SMOKE_NODES: &[u16] = &[16, 64];
+
+/// Pre-allocation cap used by every scale preset.
+const SCALE_BUDGET: usize = 8_192;
+
+fn scale_grid(nodes: &[u16], accounts: u64, measured_per_node: u64) -> Vec<CurveGrid> {
+    let spec = |coupling: CouplingMode| {
+        move |n: u16| {
+            RunSpec::Scale(ScaleRun {
+                nodes: n,
+                accounts,
+                coupling,
+                tps_per_node: 100.0,
+                page_metadata_budget: SCALE_BUDGET,
+                run: RunLength {
+                    // Work scales with the system so per-node load (and
+                    // the contention picture) is comparable across the
+                    // axis.
+                    warmup: n as u64 * 500,
+                    measured: n as u64 * measured_per_node,
+                },
+                seed: 0xDB5_4A6E,
+            })
+        }
+    };
+    vec![
+        grid_curve("GEM/NOFORCE", nodes, spec(CouplingMode::GemLocking)),
+        grid_curve("PCL/NOFORCE", nodes, spec(CouplingMode::Pcl)),
+    ]
+}
+
+/// The `--scale full` grid: up to 200 nodes against one million
+/// accounts, 25,000 measured transactions per node (5 million at the
+/// endpoint — beyond 10^8 calendar events for the 200-node GEM run).
+pub fn scale_full_grid() -> Vec<CurveGrid> {
+    scale_grid(SCALE_FULL_NODES, 1_000_000, 25_000)
+}
+
+/// The `--scale smoke` grid: a CI-sized miniature (≤64 nodes, 100,000
+/// accounts) exercising the same code paths.
+pub fn scale_smoke_grid() -> Vec<CurveGrid> {
+    scale_grid(SCALE_SMOKE_NODES, 100_000, 1_000)
 }
 
 fn disks_of(s: &StorageAllocation) -> u32 {

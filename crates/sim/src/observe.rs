@@ -90,12 +90,15 @@ pub struct TimelineWindow {
     pub cpu_wait_ns: u64,
     /// Summed CPU service of committed transactions (ns).
     pub cpu_service_ns: u64,
-    /// MPL slots in use across nodes at the window close (instantaneous).
-    pub mpl_in_use: u32,
+    /// MPL slots in use across nodes at the window close
+    /// (instantaneous). `u64`: a 200-node scale run sums per-node
+    /// gauges system-wide, so the window types must not assume the
+    /// totals fit a node-sized integer.
+    pub mpl_in_use: u64,
     /// Transactions queued for an MPL slot at the window close.
-    pub mpl_queue: u32,
+    pub mpl_queue: u64,
     /// Live transactions in a lock wait at the window close.
-    pub lock_wait_depth: u32,
+    pub lock_wait_depth: u64,
     /// Per-node CPU utilization over the window.
     pub cpu_util: Vec<f64>,
     /// GEM server utilization over the window.

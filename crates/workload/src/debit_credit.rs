@@ -82,6 +82,33 @@ impl DebitCredit {
         }
     }
 
+    /// Builds a geometry with an explicit account count instead of the
+    /// Table 4.1 rate coupling: one branch per node, accounts divided
+    /// evenly over branches and rounded down to whole ACCOUNT pages.
+    /// The scale scenarios use this to run a 200-node system against a
+    /// million-account database without the benchmark's rate-scaled
+    /// 100,000 accounts per branch (which would dwarf RAM before the
+    /// coupling questions under study even arise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or there is less than one account page
+    /// per branch.
+    pub fn with_accounts(nodes: u16, accounts: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let branches = nodes as u64;
+        let per_branch = accounts / branches / ACCOUNT_BLOCKING * ACCOUNT_BLOCKING;
+        assert!(
+            per_branch > 0,
+            "need at least {ACCOUNT_BLOCKING} accounts per branch"
+        );
+        DebitCredit {
+            nodes,
+            branches,
+            accounts: branches * per_branch,
+        }
+    }
+
     /// Number of nodes the geometry was scaled for.
     pub fn nodes(&self) -> u16 {
         self.nodes
@@ -408,6 +435,24 @@ mod tests {
         assert_eq!(dc.account_pages(), 10_000_000);
         assert_eq!(dc.accounts_per_branch(), 100_000);
         assert_eq!(dc.bt_pages(), 1_000);
+    }
+
+    #[test]
+    fn explicit_account_geometry() {
+        let dc = DebitCredit::with_accounts(200, 1_000_000);
+        assert_eq!(dc.branches(), 200);
+        assert_eq!(dc.accounts(), 1_000_000);
+        assert_eq!(dc.accounts_per_branch(), 5_000);
+        assert_eq!(dc.account_pages(), 100_000);
+        // Uneven division rounds down to whole pages per branch.
+        let dc = DebitCredit::with_accounts(64, 100_000);
+        assert_eq!(dc.accounts_per_branch(), 1_560);
+        assert_eq!(dc.accounts(), 99_840);
+        // Geometry identities the GLA map relies on still hold.
+        assert_eq!(
+            dc.account_pages_per_branch() * ACCOUNT_BLOCKING,
+            dc.accounts_per_branch()
+        );
     }
 
     #[test]
