@@ -126,6 +126,37 @@ fn calendar(b: &Bench) {
         });
     }
     {
+        // Far-lane stress shaped like the engine: head gaps of a few
+        // hundred ns under a horizon stretched by 15 ms disk events,
+        // so bucket width and the sorted current-day bucket both
+        // matter (a uniform spread hides current-bucket crowding).
+        let mut cal = Calendar::new();
+        let mut rng = Rng::seed_from_u64(8);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1_000 {
+            cal.schedule(now + SimDuration::from_nanos(1 + rng.below(2_000)), 0u32);
+        }
+        for _ in 0..200 {
+            cal.schedule(
+                now + SimDuration::from_nanos(15_000_000 + rng.below(1_000_000)),
+                0u32,
+            );
+        }
+        let mut n = 0u32;
+        b.bench("calendar/mixed_horizon", || {
+            let (t, e) = cal.pop().expect("non-empty");
+            now = t;
+            n = n.wrapping_add(1);
+            let delta = if n.is_multiple_of(6) {
+                15_000_000 + rng.below(1_000_000) // disk completion
+            } else {
+                1 + rng.below(2_000) // CPU quantum / protocol hop
+            };
+            cal.schedule(now + SimDuration::from_nanos(delta), e);
+            black_box(e);
+        });
+    }
+    {
         // Sift cost with an engine-sized payload: the slab-indexed heap
         // moves 32-byte (key, slot) pairs regardless of payload size.
         #[derive(Clone, Copy)]
@@ -194,6 +225,42 @@ fn hashing(b: &Bench) {
     }
 }
 
+fn pipe(b: &Bench) {
+    use desim::pipe;
+    {
+        // Per-item hand-off: one mutex acquisition per send (the
+        // pre-batching cost model). The drain thread keeps the ring
+        // from filling, so this measures the uncontended-lock path.
+        let (tx, rx) = pipe::channel::<u64>(1024);
+        let drain = std::thread::spawn(move || while rx.recv().is_some() {});
+        let mut i = 0u64;
+        b.bench("pipe/channel_send_per_item", || {
+            i += 1;
+            tx.send(i).expect("drain thread alive");
+        });
+        drop(tx);
+        drain.join().unwrap();
+    }
+    {
+        // Batched lane: the lock is taken once per 256-item batch, so
+        // the steady-state push is a bounds check and a Vec write.
+        let (mut tx, rx) = pipe::lane::<u64>(256, 8);
+        let drain = std::thread::spawn(move || {
+            let mut spare = None;
+            while let Some(batch) = rx.recv(spare.take()) {
+                spare = Some(batch);
+            }
+        });
+        let mut i = 0u64;
+        b.bench("pipe/lane_push_batch256", || {
+            i += 1;
+            tx.push(i).expect("drain thread alive");
+        });
+        drop(tx);
+        drain.join().unwrap();
+    }
+}
+
 fn multiserver(b: &Bench) {
     let mut srv = MultiServer::new(4);
     let mut now = SimTime::ZERO;
@@ -234,6 +301,7 @@ fn main() {
     lru(&b);
     calendar(&b);
     hashing(&b);
+    pipe(&b);
     multiserver(&b);
     distributions(&b);
 }

@@ -793,6 +793,18 @@ fn main() {
         harness = harness.workers(n);
     }
     if let Some(n) = cores {
+        // Oversubscribing engine stages past the physical cores only
+        // adds context-switch overhead to every job, so clamp instead
+        // of silently running N worker threads on fewer CPUs.
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get() as u32)
+            .unwrap_or(1);
+        let n = if n > host {
+            eprintln!("repro: --cores {n} exceeds host_cpus {host}; clamping to {host}");
+            host
+        } else {
+            n
+        };
         harness = harness.cores(n);
     }
     if !no_history {

@@ -20,39 +20,47 @@
 //!   pre-drawing them is invisible to every other consumer of
 //!   randomness.
 //! * **Statistics sink** (`cores >= 3`) — a consumer thread owns the
-//!   [`Metrics`] accumulator and applies the engine's record calls in
-//!   strict FIFO order, preserving the floating-point fold order.
+//!   [`Metrics`] accumulator and folds [`StatsShard`] deltas in strict
+//!   FIFO order, preserving the floating-point fold order.
 //! * **Trace sink** (`cores >= 4`, only when tracing is on) — a
 //!   consumer thread owns the installed [`TraceSink`] and records
 //!   events in emission order.
+//!
+//! Every stage boundary is *batched* (`desim::pipe::lane` or a shard
+//! channel): the hot path appends to a thread-local buffer and the
+//! mutex is taken once per batch, not once per event; emptied buffers
+//! recirculate through the channel's free list so steady state is
+//! allocation-free. The producer-side counters (batches, items, lock
+//! acquisitions, stalls) are aggregated into `RunProfile::pipe_*` at
+//! teardown and surface through `--profile`.
 //!
 //! All calendar scheduling stays on the engine thread in unchanged
 //! order, so bit-identity holds *by construction* at every `cores`
 //! value; the cross-`cores` invariance tests enforce it.
 
 use super::Engine;
-use crate::metrics::Metrics;
+use crate::metrics::{CommitSample, Metrics, StatsShard};
 use dbshare_model::{NodeId, TxnSpec};
 use dbshare_workload::Workload;
-use desim::pipe::{self, Receiver, Sender};
+use desim::pipe::{self, LaneReceiver, LaneSender, LaneStats, Receiver, Sender, TrySendError};
 use desim::trace::{TraceEvent, TraceSink};
 use desim::{Rng, SimDuration, SimTime};
 
 /// Arrivals per batch sent from the producer to the engine.
 const ARRIVAL_BATCH: usize = 256;
-/// Batches buffered in the arrival channel (bounds producer run-ahead).
+/// Batches buffered in the arrival lane (bounds producer run-ahead).
 const ARRIVAL_DEPTH: usize = 8;
 /// Spare-spec batches returned to the producer for buffer recycling.
 const SPARE_DEPTH: usize = 8;
 /// Spare specs accumulated engine-side before a return attempt.
 const SPARE_BATCH: usize = 64;
-/// Statistics messages per batch.
+/// Statistics samples per shard.
 const STATS_BATCH: usize = 256;
-/// Batches buffered in the statistics channel.
+/// Shards buffered in the statistics channel.
 const STATS_DEPTH: usize = 16;
 /// Trace events per batch.
 const TRACE_BATCH: usize = 1024;
-/// Batches buffered in the trace channel.
+/// Batches buffered in the trace lane.
 const TRACE_DEPTH: usize = 16;
 
 /// One pre-generated arrival: the inter-arrival gap drawn from the
@@ -74,20 +82,28 @@ pub(crate) enum ArrivalSource {
 
 /// Engine-side endpoint of the arrival stage.
 pub(crate) struct StagedArrivals {
-    rx: Receiver<Vec<PreArrival>>,
+    rx: LaneReceiver<PreArrival>,
     spare_tx: Sender<Vec<TxnSpec>>,
-    batch: std::vec::IntoIter<PreArrival>,
+    /// Current batch, *reversed* so `next` pops from the back in O(1)
+    /// while keeping the buffer intact for recycling.
+    batch: Vec<PreArrival>,
     spare_buf: Vec<TxnSpec>,
 }
 
 impl StagedArrivals {
     fn next(&mut self) -> (SimDuration, NodeId, TxnSpec) {
         loop {
-            if let Some(a) = self.batch.next() {
+            if let Some(a) = self.batch.pop() {
                 return (a.gap, a.node, a.spec);
             }
-            let batch = self.rx.recv().expect("arrival producer exited early");
-            self.batch = batch.into_iter();
+            let spent = std::mem::take(&mut self.batch);
+            let recycle = (spent.capacity() > 0).then_some(spent);
+            let mut batch = self
+                .rx
+                .recv(recycle)
+                .expect("arrival producer exited early");
+            batch.reverse();
+            self.batch = batch;
         }
     }
 
@@ -104,126 +120,71 @@ impl StagedArrivals {
     }
 }
 
-/// One deferred statistics operation, applied by the sink in FIFO
-/// order — the same call sequence, hence the same floating-point fold
-/// order, as the serial engine.
-pub(crate) enum StatsMsg {
-    /// A measured commit: `record_commit_time` + `record_completion`.
-    Commit {
-        at: SimTime,
-        resp: SimDuration,
-        refs: u32,
-        input: SimDuration,
-        lock: SimDuration,
-        io: SimDuration,
-        cpu_wait: SimDuration,
-        cpu_service: SimDuration,
-    },
-    /// A remote-page wait ended (recorded in warm-up too, exactly like
-    /// the inline path; the rebase discards the pre-measurement ones).
-    PageReqDelay(f64),
-    /// End of warm-up: replace the accumulator with a fresh one.
-    Rebase { started: SimTime },
-}
-
 /// Where metric record calls go.
 pub(crate) enum StatsStage {
     /// Serial mode: apply to `self.metrics` directly.
     Inline,
-    /// Pipeline mode: batch onto the statistics channel.
+    /// Pipeline mode: accumulate a [`StatsShard`] and ship it whole.
     Staged {
-        tx: Sender<Vec<StatsMsg>>,
-        buf: Vec<StatsMsg>,
+        tx: Sender<StatsShard>,
+        /// Emptied shards coming back from the sink for reuse.
+        spare_rx: Receiver<StatsShard>,
+        shard: StatsShard,
+        sent: LaneStats,
     },
 }
 
 /// Engine-side endpoint of the trace stage: batches emitted events
 /// toward the thread that owns the sink.
 pub(crate) struct TraceStage {
-    tx: Sender<Vec<TraceEvent>>,
-    buf: Vec<TraceEvent>,
+    tx: LaneSender<TraceEvent>,
 }
 
 impl TraceStage {
     pub(crate) fn push(&mut self, ev: TraceEvent) {
-        self.buf.push(ev);
-        if self.buf.len() >= TRACE_BATCH {
-            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(TRACE_BATCH));
-            self.tx.send(batch).expect("trace stage exited early");
-        }
+        self.tx.push(ev).expect("trace stage exited early");
     }
 }
 
 /// The producer thread: pre-generates arrivals until the engine drops
-/// its receiver (run over), then exits.
+/// its receiver (run over), then exits, reporting its lane counters.
 fn produce_arrivals(
     mut workload: Box<dyn Workload + Send>,
     mut arrival_rng: Rng,
     mut wl_rng: Rng,
     mean_gap_us: f64,
-    tx: Sender<Vec<PreArrival>>,
+    mut tx: LaneSender<PreArrival>,
     spare_rx: Receiver<Vec<TxnSpec>>,
-) {
+) -> LaneStats {
     let mut spares: Vec<TxnSpec> = Vec::new();
     loop {
-        let mut batch = Vec::with_capacity(ARRIVAL_BATCH);
-        for _ in 0..ARRIVAL_BATCH {
-            if spares.is_empty() {
-                while let Some(more) = spare_rx.try_recv() {
-                    spares.extend(more);
-                }
+        if spares.is_empty() {
+            while let Some(more) = spare_rx.try_recv() {
+                spares.extend(more);
             }
-            // Draw order per arrival matches the serial loop: gap from
-            // the arrival stream, then the spec from the workload
-            // stream. The streams are independent generators, so batch
-            // pre-drawing yields the very same values.
-            let gap = SimDuration::from_micros_f64(arrival_rng.exp(mean_gap_us));
-            let (node, spec) = workload.next_with(&mut wl_rng, spares.pop());
-            batch.push(PreArrival { gap, node, spec });
         }
-        if tx.send(batch).is_err() {
-            return; // engine finished; surplus arrivals are discarded
+        // Draw order per arrival matches the serial loop: gap from the
+        // arrival stream, then the spec from the workload stream. The
+        // streams are independent generators, so batch pre-drawing
+        // yields the very same values.
+        let gap = SimDuration::from_micros_f64(arrival_rng.exp(mean_gap_us));
+        let (node, spec) = workload.next_with(&mut wl_rng, spares.pop());
+        if tx.push(PreArrival { gap, node, spec }).is_err() {
+            // Engine finished; surplus arrivals are discarded.
+            return tx.stats();
         }
     }
 }
 
-/// The statistics thread: folds record calls in arrival order and
-/// hands the finished accumulator back at join.
-fn consume_stats(rx: Receiver<Vec<StatsMsg>>) -> Metrics {
+/// The statistics thread: folds shard deltas in arrival order and
+/// hands the finished accumulator back at join. Shards are cleared by
+/// `apply` and offered back to the engine for reuse (dropped, not
+/// blocked on, when the return channel is full).
+fn consume_stats(rx: Receiver<StatsShard>, spare_tx: Sender<StatsShard>) -> Metrics {
     let mut m = Metrics::default();
-    while let Some(batch) = rx.recv() {
-        for msg in batch {
-            match msg {
-                StatsMsg::Commit {
-                    at,
-                    resp,
-                    refs,
-                    input,
-                    lock,
-                    io,
-                    cpu_wait,
-                    cpu_service,
-                } => {
-                    m.record_commit_time(at);
-                    m.record_completion(
-                        resp,
-                        refs as usize,
-                        input,
-                        lock,
-                        io,
-                        cpu_wait,
-                        cpu_service,
-                    );
-                }
-                StatsMsg::PageReqDelay(ms) => m.page_req_delay.record(ms),
-                StatsMsg::Rebase { started } => {
-                    m = Metrics {
-                        started,
-                        ..Metrics::default()
-                    }
-                }
-            }
-        }
+    while let Some(mut shard) = rx.recv() {
+        shard.apply(&mut m);
+        let _ = spare_tx.try_send(shard);
     }
     m
 }
@@ -232,12 +193,14 @@ fn consume_stats(rx: Receiver<Vec<StatsMsg>>) -> Metrics {
 /// sink back at join.
 fn consume_trace(
     mut sink: Box<dyn TraceSink + Send>,
-    rx: Receiver<Vec<TraceEvent>>,
+    rx: LaneReceiver<TraceEvent>,
 ) -> Box<dyn TraceSink + Send> {
-    while let Some(batch) = rx.recv() {
+    let mut spent: Option<Vec<TraceEvent>> = None;
+    while let Some(batch) = rx.recv(spent.take()) {
         for ev in &batch {
             sink.record(ev);
         }
+        spent = Some(batch);
     }
     sink
 }
@@ -254,7 +217,8 @@ impl Engine {
 
     /// The pipeline orchestrator: spins up the stages the `cores`
     /// budget affords, runs the unchanged event loop, then tears the
-    /// stages down in dependency order and reclaims their state.
+    /// stages down in dependency order, reclaims their state, and
+    /// folds every stage's lane counters into the run profile.
     fn run_staged(&mut self) -> SimTime {
         let cores = self.cfg.run.cores;
         let stage_source = cores >= 2;
@@ -263,38 +227,42 @@ impl Engine {
         // otherwise a `cores >= 4` request clamps to three stages.
         let stage_trace = cores >= 4 && self.tracer.is_some();
         std::thread::scope(|s| {
-            if stage_source {
-                let (tx, rx) = pipe::channel(ARRIVAL_DEPTH);
+            let arrival_handle = if stage_source {
+                let (tx, rx) = pipe::lane(ARRIVAL_BATCH, ARRIVAL_DEPTH);
                 let (spare_tx, spare_rx) = pipe::channel(SPARE_DEPTH);
                 let workload = self.workload.take().expect("workload installed");
                 let arrival_rng = std::mem::replace(&mut self.arrival_rng, Rng::seed_from_u64(0));
                 let wl_rng = std::mem::replace(&mut self.wl_rng, Rng::seed_from_u64(0));
                 let gap = self.mean_arrival_gap_us;
-                s.spawn(move || produce_arrivals(workload, arrival_rng, wl_rng, gap, tx, spare_rx));
                 self.source = ArrivalSource::Staged(StagedArrivals {
                     rx,
                     spare_tx,
-                    batch: Vec::new().into_iter(),
+                    batch: Vec::new(),
                     spare_buf: Vec::with_capacity(SPARE_BATCH),
                 });
-            }
+                Some(s.spawn(move || {
+                    produce_arrivals(workload, arrival_rng, wl_rng, gap, tx, spare_rx)
+                }))
+            } else {
+                None
+            };
             let stats_handle = if stage_stats {
                 let (tx, rx) = pipe::channel(STATS_DEPTH);
+                let (spare_tx, spare_rx) = pipe::channel(STATS_DEPTH);
                 self.stats = StatsStage::Staged {
                     tx,
-                    buf: Vec::with_capacity(STATS_BATCH),
+                    spare_rx,
+                    shard: StatsShard::default(),
+                    sent: LaneStats::default(),
                 };
-                Some(s.spawn(move || consume_stats(rx)))
+                Some(s.spawn(move || consume_stats(rx, spare_tx)))
             } else {
                 None
             };
             let trace_handle = if stage_trace {
-                let (tx, rx) = pipe::channel(TRACE_DEPTH);
+                let (tx, rx) = pipe::lane(TRACE_BATCH, TRACE_DEPTH);
                 let sink = self.tracer.take().expect("tracing enabled");
-                self.trace_stage = Some(TraceStage {
-                    tx,
-                    buf: Vec::with_capacity(TRACE_BATCH),
-                });
+                self.trace_stage = Some(TraceStage { tx });
                 Some(s.spawn(move || consume_trace(sink, rx)))
             } else {
                 None
@@ -303,29 +271,50 @@ impl Engine {
             let now = self.run_loop();
 
             // Teardown. Dropping the arrival receiver fails the
-            // producer's next send, so it exits even if it ran ahead
+            // producer's next push, so it exits even if it ran ahead
             // of a truncated run.
             self.source = ArrivalSource::Inline;
-            if let StatsStage::Staged { tx, buf } =
-                std::mem::replace(&mut self.stats, StatsStage::Inline)
+            if let Some(h) = arrival_handle {
+                let stats = h.join().expect("arrival producer panicked");
+                self.profile_pipe_merge(&stats);
+            }
+            if let StatsStage::Staged {
+                tx,
+                spare_rx,
+                shard,
+                mut sent,
+            } = std::mem::replace(&mut self.stats, StatsStage::Inline)
             {
-                if !buf.is_empty() {
-                    assert!(tx.send(buf).is_ok(), "stats stage exited early");
+                if !shard.is_empty() {
+                    sent.batches += 1;
+                    sent.items += shard.len() as u64;
+                    sent.partial += 1;
+                    sent.locks += 1;
+                    assert!(tx.send(shard).is_ok(), "stats stage exited early");
                 }
+                drop(spare_rx);
+                self.profile_pipe_merge(&sent);
             }
             if let Some(h) = stats_handle {
                 self.metrics = h.join().expect("stats stage panicked");
             }
-            if let Some(TraceStage { tx, buf }) = self.trace_stage.take() {
-                if !buf.is_empty() {
-                    tx.send(buf).expect("trace stage exited early");
-                }
+            if let Some(TraceStage { mut tx }) = self.trace_stage.take() {
+                tx.flush().expect("trace stage exited early");
+                self.profile_pipe_merge(&tx.stats());
             }
             if let Some(h) = trace_handle {
                 self.tracer = Some(h.join().expect("trace stage panicked"));
             }
             now
         })
+    }
+
+    /// Folds one stage's lane counters into the run profile.
+    fn profile_pipe_merge(&mut self, stats: &LaneStats) {
+        self.profile.pipe_batches += stats.batches;
+        self.profile.pipe_items += stats.items;
+        self.profile.pipe_locks += stats.locks;
+        self.profile.pipe_stalls += stats.stalls;
     }
 
     /// Draws the next arrival — inline in serial mode, from the
@@ -375,50 +364,94 @@ impl Engine {
                 self.metrics.record_commit_time(at);
                 self.metrics
                     .record_completion(resp, refs, input, lock, io, cpu_wait, cpu_service);
+                return;
             }
-            StatsStage::Staged { .. } => self.stats_push(StatsMsg::Commit {
-                at,
-                resp,
-                refs: refs as u32,
-                input,
-                lock,
-                io,
-                cpu_wait,
-                cpu_service,
-            }),
+            StatsStage::Staged { shard, .. } => {
+                shard.commits.push(CommitSample {
+                    at,
+                    resp,
+                    refs: refs as u32,
+                    input,
+                    lock,
+                    io,
+                    cpu_wait,
+                    cpu_service,
+                });
+                if shard.len() < STATS_BATCH {
+                    return;
+                }
+            }
         }
+        self.stats_flush();
     }
 
     /// Records one remote-page wait (directly or via the sink).
     pub(crate) fn stats_page_req_delay(&mut self, ms: f64) {
         match &mut self.stats {
-            StatsStage::Inline => self.metrics.page_req_delay.record(ms),
-            StatsStage::Staged { .. } => self.stats_push(StatsMsg::PageReqDelay(ms)),
+            StatsStage::Inline => return self.metrics.page_req_delay.record(ms),
+            StatsStage::Staged { shard, .. } => {
+                shard.delays.push(ms);
+                if shard.len() < STATS_BATCH {
+                    return;
+                }
+            }
         }
+        self.stats_flush();
     }
 
     /// Resets the metrics accumulator at end of warm-up (directly or
-    /// via the sink).
+    /// via the sink). The rebase is a shard sequence point: the
+    /// current shard is sealed and shipped first, so no pre-rebase
+    /// sample ever shares a shard with the rebase that discards it.
     pub(crate) fn stats_rebase(&mut self, started: SimTime) {
-        match &mut self.stats {
-            StatsStage::Inline => {
-                self.metrics = Metrics {
-                    started,
-                    ..Metrics::default()
-                };
-            }
-            StatsStage::Staged { .. } => self.stats_push(StatsMsg::Rebase { started }),
+        if let StatsStage::Inline = self.stats {
+            self.metrics = Metrics {
+                started,
+                ..Metrics::default()
+            };
+            return;
         }
+        let needs_flush =
+            matches!(&self.stats, StatsStage::Staged { shard, .. } if !shard.is_empty());
+        if needs_flush {
+            self.stats_flush();
+        }
+        let StatsStage::Staged { shard, .. } = &mut self.stats else {
+            unreachable!("stats_rebase outside staged mode");
+        };
+        shard.rebase = Some(started);
     }
 
-    fn stats_push(&mut self, msg: StatsMsg) {
-        let StatsStage::Staged { tx, buf } = &mut self.stats else {
-            unreachable!("stats_push outside staged mode");
+    /// Ships the current shard to the statistics sink and replaces it
+    /// with a recycled (or fresh) one. One lock for the spare pickup,
+    /// one for the hand-off; a stall adds the blocking wait.
+    fn stats_flush(&mut self) {
+        let StatsStage::Staged {
+            tx,
+            spare_rx,
+            shard,
+            sent,
+        } = &mut self.stats
+        else {
+            unreachable!("stats_flush outside staged mode");
         };
-        buf.push(msg);
-        if buf.len() >= STATS_BATCH {
-            let batch = std::mem::replace(buf, Vec::with_capacity(STATS_BATCH));
-            assert!(tx.send(batch).is_ok(), "stats stage exited early");
+        let n = shard.len() as u64;
+        sent.batches += 1;
+        sent.items += n;
+        if (n as usize) < STATS_BATCH {
+            sent.partial += 1;
+        }
+        sent.locks += 2; // spare pickup + hand-off
+        let fresh = spare_rx.try_recv().unwrap_or_default();
+        let full = std::mem::replace(shard, fresh);
+        match tx.try_send(full) {
+            Ok(()) => {}
+            Err(TrySendError::Full(full)) => {
+                sent.stalls += 1;
+                sent.locks += 1;
+                assert!(tx.send(full).is_ok(), "stats stage exited early");
+            }
+            Err(TrySendError::Closed(_)) => panic!("stats stage exited early"),
         }
     }
 }
