@@ -5,7 +5,8 @@
 //!       [--csv DIR] [--svg DIR] [--trace DIR] [--timeline DIR]
 //!       [--profile] [--alloc-stats] [--compare OLD.json]
 //!       [--history [DIR]] [--report [PATH]] [--no-history] [-v]
-//!       [--scale smoke|full]
+//!       [--scale smoke|full] [--explain [PATH]] [--knee smoke|full]
+//!       [--ticker [SECS]]
 //!       [table41|fig41|fig42|fig43|fig44|fig45|fig46|fig47|lockengine|all]
 //! ```
 //!
@@ -71,6 +72,25 @@
 //! figure selector, `--scale` runs only the scale sweep (figures can
 //! still be requested alongside). Every scale job records its peak-RSS
 //! estimate in the artifact and the experiment store.
+//!
+//! `--explain` attributes every selected figure after the run: a
+//! per-point table naming the *binding constraint* (the most-utilized
+//! resource), the runner-up, and the queue-wait shares of mean
+//! response time, plus a knee verdict per curve — printed to stderr
+//! and written as a JSON sidecar (`BENCH_explain.json`, or the given
+//! path). Everything derives from deterministic report fields, so the
+//! table and sidecar are byte-identical across `--jobs` and `--cores`.
+//! `--knee smoke|full` answers the knee question directly: instead of
+//! the fixed `--scale` grid it bisects the node axis per curve —
+//! hi endpoint first (one job if the curve never saturates), then lo,
+//! then midpoints until the bracket narrows to a quarter of the span.
+//! Probes run through the ordinary job pool, are recorded in the
+//! experiment store under `knee-smoke`/`knee-full`, and fingerprint-
+//! match the fixed grid's rows at the same node counts. `--ticker
+//! [SECS]` (default 2) prints a live stderr line per interval — jobs
+//! done/running, aggregate events/s, simulated time, ETA, peak RSS,
+//! and pipeline-lane occupancy — sampled from observer-only gauges
+//! that leave every result bit-identical.
 
 use dbshare_bench::chart::Chart;
 use dbshare_bench::html_report;
@@ -79,10 +99,11 @@ use dbshare_expstore::{
     figure_runs, gate_check, read_artifact_records, short_rev, FigureRun, Record,
 };
 use dbshare_harness::{
-    write_artifact, CountingAlloc, Harness, History, Json, Observe, Outcome, Provenance, Store,
-    Sweep,
+    rss, run_knee, write_artifact, CountingAlloc, Harness, History, Json, Observe, Outcome,
+    Provenance, Store, Sweep,
 };
-use dbshare_sim::experiments::{self, CurveGrid, RunLength, Series};
+use dbshare_sim::experiments::{self, CurveGrid, RunLength, ScalePreset, Series};
+use dbshare_sim::explain;
 use dbshare_sim::{RunProfile, RunReport};
 use std::path::{Path, PathBuf};
 
@@ -216,6 +237,21 @@ const FIGURES: &[Figure] = &[
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Verifies an output directory is creatable and writable *before* the
+/// (possibly long) run: create it and probe-write a scratch file.
+/// A bad `--trace`/`--timeline`/`--csv`/`--svg` destination exits 2
+/// immediately instead of failing after the simulations finish.
+fn ensure_writable_dir(flag: &str, dir: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("{flag}: cannot create directory {dir:?}: {e}"));
+    }
+    let probe = Path::new(dir).join(".repro-write-probe");
+    if let Err(e) = std::fs::write(&probe, b"") {
+        fail(&format!("{flag}: directory {dir:?} is not writable: {e}"));
+    }
+    let _ = std::fs::remove_file(&probe);
 }
 
 fn parse_nodes(s: &str) -> Vec<u16> {
@@ -532,8 +568,18 @@ fn print_history(store_path: &Path, wanted: &[&Figure]) {
             fig_rows.len()
         );
         eprintln!(
-            "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9}{:>11}{:>10}  vs best prior",
-            "run", "when (UTC)", "rev", "jobs", "cores", "events", "wall s", "events/s", "al/ev",
+            "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9}{:>11}{:>10}{:>8}{:>14}  vs best prior",
+            "run",
+            "when (UTC)",
+            "rev",
+            "jobs",
+            "cores",
+            "events",
+            "wall s",
+            "events/s",
+            "al/ev",
+            "rss MB",
+            "binding",
         );
         for (i, row) in fig_rows.iter().enumerate() {
             // Baseline: the best *earlier* run of the identical job
@@ -550,7 +596,7 @@ fn print_history(store_path: &Path, wanted: &[&Figure]) {
                 Some(best) => format!("{:+.1}%", (row.events_per_sec() / best - 1.0) * 100.0),
             };
             eprintln!(
-                "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9.2}{:>11.0}{:>10.4}  {delta}",
+                "{:<22}{:<18}{:<14}{:>5}{:>6}{:>10}{:>9.2}{:>11.0}{:>10.4}{:>8}{:>14}  {delta}",
                 row.run,
                 html_report::utc_datetime(row.created_unix),
                 short_rev(&row.git_revision),
@@ -560,6 +606,8 @@ fn print_history(store_path: &Path, wanted: &[&Figure]) {
                 row.wall_secs,
                 row.events_per_sec(),
                 row.allocs_per_event,
+                rss::format_mb(row.peak_rss_mb),
+                row.binding.as_deref().unwrap_or("-"),
             );
         }
     }
@@ -622,6 +670,9 @@ fn main() {
     let mut no_history = false;
     let mut report: Option<Option<String>> = None;
     let mut scale: Option<&'static Figure> = None;
+    let mut explain_to: Option<String> = None;
+    let mut knee: Option<(&'static str, ScalePreset)> = None;
+    let mut ticker: Option<std::time::Duration> = None;
     // Known figure selectors, needed during parsing too: `--history`
     // and `--report` take *optional* values, so a selector following
     // them must not be swallowed as the value.
@@ -709,18 +760,48 @@ fn main() {
                     report = Some(None);
                 }
             }
+            "--explain" => {
+                explain_to = Some(match optional_value(&args, i) {
+                    Some(path) => {
+                        i += 1;
+                        path
+                    }
+                    None => "BENCH_explain.json".to_string(),
+                });
+            }
+            "--knee" => {
+                i += 1;
+                knee = Some(match arg_value(&args, i, "--knee") {
+                    "smoke" => ("knee-smoke", ScalePreset::SMOKE),
+                    "full" => ("knee-full", ScalePreset::FULL),
+                    other => fail(&format!("--knee takes smoke or full, got {other:?}")),
+                });
+            }
+            "--ticker" => {
+                let secs = match optional_value(&args, i) {
+                    Some(v) => {
+                        i += 1;
+                        match v.parse::<f64>() {
+                            Ok(s) if s > 0.0 && s.is_finite() => s,
+                            _ => fail(&format!("--ticker takes seconds > 0, got {v:?}")),
+                        }
+                    }
+                    None => 2.0,
+                };
+                ticker = Some(std::time::Duration::from_secs_f64(secs));
+            }
             other if other.starts_with('-') => fail(&format!(
                 "unknown flag {other:?} (try --quick, --jobs, --cores, --json, --nodes, --csv, \
                  --svg, --trace, --timeline, --profile, --alloc-stats, --compare, --history, \
-                 --report, --no-history, --scale, -v)"
+                 --report, --no-history, --scale, --explain, --knee, --ticker, -v)"
             )),
             other => which.push(other.to_string()),
         }
         i += 1;
     }
-    // `--scale` alone runs only the scale sweep; figure selectors can
-    // still be added alongside it.
-    if which.is_empty() && scale.is_none() {
+    // `--scale`/`--knee` alone run only their own jobs; figure
+    // selectors can still be added alongside them.
+    if which.is_empty() && scale.is_none() && knee.is_none() {
         which.push("all".to_string());
     }
     // Reject unknown figure names instead of silently doing nothing.
@@ -743,6 +824,20 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("--compare: {e}")));
         (old_path.clone(), records)
     });
+
+    // Likewise probe every export destination up front: an unwritable
+    // --trace/--timeline/--csv/--svg directory exits 2 now, not after
+    // the run.
+    for (flag, dir) in [
+        ("--csv", &csv),
+        ("--svg", &svg),
+        ("--trace", &trace_dir),
+        ("--timeline", &timeline_dir),
+    ] {
+        if let Some(dir) = dir {
+            ensure_writable_dir(flag, dir);
+        }
+    }
 
     let provenance = Provenance {
         git_revision: env!("REPRO_GIT_REVISION").to_string(),
@@ -813,6 +908,9 @@ fn main() {
             provenance: provenance.clone(),
         });
     }
+    if let Some(every) = ticker {
+        harness = harness.ticker(every);
+    }
     let outcome: Outcome = harness.run(sweeps);
 
     for fig in &wanted {
@@ -835,6 +933,39 @@ fn main() {
         if verbose {
             print_details(series);
         }
+    }
+
+    // The knee bisection runs its probes one at a time through the
+    // same harness (history appends and the ticker apply per probe).
+    if let Some((knee_figure, preset)) = &knee {
+        println!(
+            "\n=== knee [{knee_figure}] (saturation threshold {:.0}%) ===",
+            explain::SATURATION_THRESHOLD * 100.0
+        );
+        let knee_outcome = run_knee(&harness, knee_figure, preset, explain::SATURATION_THRESHOLD);
+        print!("{}", knee_outcome.render());
+    }
+
+    // Attribution: a pure function of the (deterministic) reports, so
+    // the stderr table and the sidecar are byte-identical across
+    // --jobs and --cores.
+    if let Some(sidecar_path) = &explain_to {
+        let explains: Vec<explain::FigureExplain> = wanted
+            .iter()
+            .map(|fig| {
+                let series = outcome
+                    .series_for(fig.name)
+                    .expect("harness returns every submitted figure");
+                explain::explain_figure(fig.name, series, explain::SATURATION_THRESHOLD)
+            })
+            .collect();
+        for fe in &explains {
+            eprint!("\n{}", fe.render());
+        }
+        if let Err(e) = std::fs::write(sidecar_path, explain::sidecar_json(&explains)) {
+            fail(&format!("--explain: cannot write {sidecar_path}: {e}"));
+        }
+        eprintln!("wrote {sidecar_path}");
     }
 
     if profile && !outcome.results.is_empty() {

@@ -55,7 +55,7 @@ pub fn render(records: &[Record]) -> String {
         out.push_str(
             "<table>\n<tr><th>run</th><th>when (UTC)</th><th>rev</th><th>jobs</th>\
              <th>cores</th><th>events</th><th>wall s</th><th>events/s</th><th>allocs/ev</th>\
-             <th>rss MB</th><th>TPS</th><th>resp ms</th>\
+             <th>rss MB</th><th>binding</th><th>TPS</th><th>resp ms</th>\
              <th>config</th><th>results</th><th>vs best prior</th></tr>\n",
         );
         for (i, row) in fig_rows.iter().enumerate() {
@@ -88,10 +88,16 @@ pub fn render(records: &[Record]) -> String {
                 Some(mb) => format!("<td>{mb:.0}</td>"),
                 None => "<td class=\"na\">&mdash;</td>".to_string(),
             };
+            // The hottest job's binding constraint, when attributed
+            // (older stores carry none — dash, never a guess).
+            let binding = match (&row.binding, row.binding_utilization) {
+                (Some(b), Some(u)) => format!("<td>{} {:.0}%</td>", escape(b), u * 100.0),
+                _ => "<td class=\"na\">&mdash;</td>".to_string(),
+            };
             out.push_str(&format!(
                 "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
                  <td>{:.2}</td><td>{:.0}</td><td>{:.4}</td>\
-                 {rss}<td>{tps:.1}</td><td>{resp:.1}</td>\
+                 {rss}{binding}<td>{tps:.1}</td><td>{resp:.1}</td>\
                  <td class=\"hash\">{}</td><td class=\"hash\">{}</td>{}</tr>\n",
                 escape(&row.run),
                 utc_datetime(row.created_unix),
@@ -108,8 +114,58 @@ pub fn render(records: &[Record]) -> String {
             ));
         }
         out.push_str("</table>\n");
+        out.push_str(&util_stack(records, figure));
     }
     out.push_str(FOOTER);
+    out
+}
+
+/// The figure's utilization stack: per-resource fill bars for every
+/// job of the latest run that carried an attribution, with the binding
+/// constraint's cell bolded. Empty for stores written before
+/// attribution existed — nothing rendered, never a zero bar.
+fn util_stack(records: &[Record], figure: &str) -> String {
+    let Some(run) = records
+        .iter()
+        .rev()
+        .find(|r| r.figure == figure && r.utils.is_some())
+        .map(|r| r.run.clone())
+    else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<p class=\"meta\">utilization stack of run {} (binding constraint in bold)</p>\n\
+         <table>\n<tr><th>curve</th><th>n</th><th>cpu</th><th>coupling</th>\
+         <th>network</th><th>disk</th><th>log</th></tr>\n",
+        escape(&run)
+    ));
+    for r in records
+        .iter()
+        .filter(|r| r.figure == figure && r.run == run)
+    {
+        let Some(us) = r.utils else { continue };
+        let binding = r.binding.as_deref().unwrap_or("");
+        let cell = |v: f64, is_binding: bool| {
+            let pct = (v * 100.0).clamp(0.0, 100.0);
+            format!(
+                "<td class=\"{}\" style=\"background:linear-gradient(90deg,#bfdbfe {pct:.0}%,\
+                 transparent {pct:.0}%)\">{pct:.0}%</td>",
+                if is_binding { "bind" } else { "util" }
+            )
+        };
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td>{}{}{}{}{}</tr>\n",
+            escape(&r.curve),
+            r.nodes,
+            cell(us.cpu, binding == "cpu"),
+            cell(us.coupling, binding == "gem" || binding == "lock-engine"),
+            cell(us.network, binding == "network"),
+            cell(us.disk, binding.starts_with("disk:")),
+            cell(us.log, binding == "log"),
+        ));
+    }
+    out.push_str("</table>\n");
     out
 }
 
@@ -265,6 +321,7 @@ th,td{padding:0.2rem 0.7rem;text-align:right;border-bottom:1px solid #eee}\n\
 th{font-weight:600;background:#f8f8f8}td:first-child,th:first-child{text-align:left}\n\
 .hash{font-family:ui-monospace,monospace;color:#555}\n\
 .good{color:#15803d}.bad{color:#b91c1c;font-weight:600}.flat{color:#666}.na{color:#aaa}\n\
+.bind{font-weight:700}\n\
 .meta{color:#666}.spark{vertical-align:middle}\n\
 </style>\n</head>\n<body>\n";
 
@@ -298,6 +355,11 @@ mod tests {
             mean_response_ms: 50.0,
             throughput_tps: 100.0,
             peak_rss_mb: Some(64.0),
+            binding: None,
+            binding_utilization: None,
+            next_constraint: None,
+            next_utilization: None,
+            utils: None,
         }
     }
 
@@ -328,8 +390,30 @@ mod tests {
         let mut legacy = rec("r1", 1_754_000_000, "fig41", 1, 2.0, "m1");
         legacy.peak_rss_mb = None;
         let page = render(&[legacy]);
-        // One dash for the missing baseline delta, one for the RSS.
-        assert_eq!(page.matches("class=\"na\"").count(), 2, "{page}");
+        // One dash each for the missing baseline delta, the RSS, and
+        // the (unattributed) binding constraint — never a zero.
+        assert_eq!(page.matches("class=\"na\"").count(), 3, "{page}");
+    }
+
+    #[test]
+    fn binding_column_and_utilization_stack_render() {
+        let mut attributed = rec("r1", 1_754_000_000, "fig41", 64, 2.0, "m1");
+        attributed.binding = Some("network".into());
+        attributed.binding_utilization = Some(0.71);
+        attributed.utils = Some(dbshare_expstore::ResourceUtils {
+            cpu: 0.644,
+            coupling: 0.31,
+            network: 0.71,
+            disk: 0.39,
+            log: 0.1,
+        });
+        let page = render(&[attributed]);
+        assert!(page.contains("<th>binding</th>"), "{page}");
+        assert!(page.contains("<td>network 71%</td>"), "{page}");
+        assert!(page.contains("utilization stack of run r1"), "{page}");
+        // The binding resource's stack cell is bolded; exactly one per
+        // attributed job row.
+        assert_eq!(page.matches("class=\"bind\"").count(), 1, "{page}");
     }
 
     #[test]
@@ -343,10 +427,11 @@ mod tests {
         ];
         let page = render(&records);
         // The cores=4 row has no comparable (same-cores) prior, so its
-        // delta cell is the em-dash, not a percentage against r1.
+        // delta cell is the em-dash, not a percentage against r1 —
+        // 2 baseline dashes plus one unattributed-binding dash per row.
         assert_eq!(
             page.matches("class=\"na\"").count(),
-            2,
+            5,
             "first serial row and first cores=4 row both lack a baseline: {page}"
         );
         // Two distinct cores values => the events/s-vs-cores sparkline.

@@ -48,6 +48,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// The receiving half of the channel was dropped; the value could not
@@ -354,6 +355,48 @@ impl LaneStats {
     }
 }
 
+/// The atomic mirror behind a [`LaneWatch`]: one counter per
+/// [`LaneStats`] field, published by the producer once per flush.
+#[derive(Default)]
+struct WatchCells {
+    batches: AtomicU64,
+    items: AtomicU64,
+    partial: AtomicU64,
+    locks: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A shared, read-only view of a lane's producer counters, for
+/// observer threads (progress tickers, watchdog dumps) that must not
+/// touch the lane itself. Obtained from [`LaneSender::watch`]; reads
+/// are relaxed atomic loads, so watching a lane never blocks either
+/// endpoint. Values lag the producer by at most one batch.
+#[derive(Clone)]
+pub struct LaneWatch {
+    cells: Arc<WatchCells>,
+}
+
+impl LaneWatch {
+    /// The most recently published counters.
+    pub fn stats(&self) -> LaneStats {
+        LaneStats {
+            batches: self.cells.batches.load(Ordering::Relaxed),
+            items: self.cells.items.load(Ordering::Relaxed),
+            partial: self.cells.partial.load(Ordering::Relaxed),
+            locks: self.cells.locks.load(Ordering::Relaxed),
+            stalls: self.cells.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for LaneWatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaneWatch")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 struct LaneState<T> {
     /// Batches in flight, oldest first.
     queue: VecDeque<Vec<T>>,
@@ -382,6 +425,7 @@ pub struct LaneSender<T> {
     buf: Vec<T>,
     batch: usize,
     stats: LaneStats,
+    watch: Option<Arc<WatchCells>>,
 }
 
 /// The consumer half of a batched lane: yields whole batches and
@@ -418,6 +462,7 @@ pub fn lane<T>(batch: usize, depth: usize) -> (LaneSender<T>, LaneReceiver<T>) {
             buf: Vec::with_capacity(batch),
             batch,
             stats: LaneStats::default(),
+            watch: None,
         },
         LaneReceiver { shared },
     )
@@ -474,9 +519,13 @@ impl<T> LaneSender<T> {
                 if n < self.batch {
                     self.stats.partial += 1;
                 }
+                self.publish_watch();
                 return Ok(());
             }
             self.stats.stalls += 1;
+            // Publish before blocking so an observer of a stuck lane
+            // sees the stall that is happening, not the last delivery.
+            self.publish_watch();
             st.tx_waiting = true;
             st = wait(&self.shared.not_full, st);
         }
@@ -490,6 +539,28 @@ impl<T> LaneSender<T> {
     /// Producer-side delivery counters accumulated so far.
     pub fn stats(&self) -> LaneStats {
         self.stats
+    }
+
+    /// Returns a shared observer handle for this lane's counters. The
+    /// producer mirrors its [`LaneStats`] into the handle once per
+    /// flush (relaxed atomic stores — no extra locking on the hot
+    /// path, and none at all until the first `watch` call).
+    pub fn watch(&mut self) -> LaneWatch {
+        let cells = self
+            .watch
+            .get_or_insert_with(|| Arc::new(WatchCells::default()))
+            .clone();
+        LaneWatch { cells }
+    }
+
+    fn publish_watch(&self) {
+        if let Some(w) = &self.watch {
+            w.batches.store(self.stats.batches, Ordering::Relaxed);
+            w.items.store(self.stats.items, Ordering::Relaxed);
+            w.partial.store(self.stats.partial, Ordering::Relaxed);
+            w.locks.store(self.stats.locks, Ordering::Relaxed);
+            w.stalls.store(self.stats.stalls, Ordering::Relaxed);
+        }
     }
 }
 
@@ -831,5 +902,31 @@ mod tests {
         let d = rx.recv(Some(c)).unwrap();
         assert_eq!(d, vec![12, 13, 14, 15]);
         assert_eq!(d.as_ptr(), pa, "buffers must recirculate, not realloc");
+    }
+
+    /// A watch handle mirrors the producer's stats once per flush and
+    /// keeps working (frozen) after the sender is gone.
+    #[test]
+    fn lane_watch_mirrors_flushed_stats() {
+        let (mut tx, rx) = lane::<u32>(4, 2);
+        let watch = tx.watch();
+        assert_eq!(watch.stats(), LaneStats::default());
+        for i in 0..4 {
+            tx.push(i).unwrap(); // full batch: flushed + published
+        }
+        let after_batch = watch.stats();
+        assert_eq!(after_batch.batches, 1);
+        assert_eq!(after_batch.items, 4);
+        assert_eq!(after_batch.partial, 0);
+        tx.push(99).unwrap();
+        tx.flush().unwrap(); // partial flush publishes too
+        assert_eq!(watch.stats().items, 5);
+        assert_eq!(watch.stats().partial, 1);
+        assert_eq!(watch.stats(), tx.stats());
+        let frozen = watch.stats();
+        drop(tx);
+        let mut got = rx.recv(None).unwrap();
+        got.clear();
+        assert_eq!(watch.stats(), frozen, "receiver side never mutates a watch");
     }
 }

@@ -87,6 +87,13 @@ pub fn records_from_artifact(doc: &Json) -> Result<Vec<Record>, String> {
             // Optional: artifacts carry Null off Linux, and older
             // artifacts have no key at all.
             peak_rss_mb: row.get("peak_rss_mb").and_then(Json::as_f64),
+            // Attribution is a store-side enrichment; artifacts don't
+            // carry it.
+            binding: None,
+            binding_utilization: None,
+            next_constraint: None,
+            next_utilization: None,
+            utils: None,
         });
     }
     Ok(records)

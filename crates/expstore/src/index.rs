@@ -134,6 +134,12 @@ pub struct FigureRun {
     /// memory budget the whole figure fit in. `None` when no job
     /// carried the sample (legacy rows, non-Linux hosts).
     pub peak_rss_mb: Option<f64>,
+    /// Binding constraint of the figure's hottest job — the resource
+    /// with the highest binding utilization across the aggregated
+    /// rows. `None` when no row carried an attribution (legacy rows).
+    pub binding: Option<String>,
+    /// That hottest job's binding utilization in `[0, 1]`.
+    pub binding_utilization: Option<f64>,
     /// FNV-1a over the sorted config fingerprints of the jobs: two
     /// rows are comparable iff this matches.
     pub config_set: String,
@@ -168,6 +174,8 @@ pub fn figure_runs(records: &[Record]) -> Vec<FigureRun> {
                     events: 0,
                     allocs_per_event: 0.0,
                     peak_rss_mb: None,
+                    binding: None,
+                    binding_utilization: None,
                     config_set: String::new(),
                 });
                 configs.push(Vec::new());
@@ -180,6 +188,14 @@ pub fn figure_runs(records: &[Record]) -> Vec<FigureRun> {
         if let Some(mb) = r.peak_rss_mb {
             let merged = rows[at].peak_rss_mb.map_or(mb, |best| best.max(mb));
             rows[at].peak_rss_mb = Some(merged);
+        }
+        // The aggregate names the *hottest* job's binding constraint
+        // (strict >, so the earliest of equals wins — deterministic).
+        if let (Some(b), Some(u)) = (&r.binding, r.binding_utilization) {
+            if rows[at].binding_utilization.is_none_or(|best| u > best) {
+                rows[at].binding = Some(b.clone());
+                rows[at].binding_utilization = Some(u);
+            }
         }
         allocs[at] += r.allocs_per_event * r.events_processed as f64;
         configs[at].push(&r.config_fingerprint);
@@ -220,6 +236,11 @@ mod tests {
             mean_response_ms: 1.0,
             throughput_tps: 1.0,
             peak_rss_mb: None,
+            binding: None,
+            binding_utilization: None,
+            next_constraint: None,
+            next_utilization: None,
+            utils: None,
         }
     }
 
@@ -286,6 +307,28 @@ mod tests {
             .find(|r| r.run == "r2" && r.figure == "fig41")
             .expect("r2/fig41");
         assert_eq!(r2fig41.peak_rss_mb, None);
+    }
+
+    #[test]
+    fn figure_runs_name_the_hottest_binding_constraint() {
+        let mut records = sample();
+        records[0].binding = Some("cpu".into());
+        records[0].binding_utilization = Some(0.64);
+        records[1].binding = Some("network".into());
+        records[1].binding_utilization = Some(0.71);
+        let rows = figure_runs(&records);
+        let r1fig41 = rows
+            .iter()
+            .find(|r| r.run == "r1" && r.figure == "fig41")
+            .expect("r1/fig41");
+        assert_eq!(r1fig41.binding.as_deref(), Some("network"));
+        assert_eq!(r1fig41.binding_utilization, Some(0.71));
+        // Rows without attribution stay None.
+        let r2fig41 = rows
+            .iter()
+            .find(|r| r.run == "r2" && r.figure == "fig41")
+            .expect("r2/fig41");
+        assert_eq!(r2fig41.binding, None);
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use gate::{check as gate_check, short_rev, GateOutcome};
 pub use index::{figure_runs, FigureRun, Index};
 pub use json::{Json, ParseError};
 pub use log::{ReadResult, Recovery, Store};
-pub use record::{fnv1a_hex, Provenance, Record, SCHEMA_VERSION};
+pub use record::{fnv1a_hex, Provenance, Record, ResourceUtils, SCHEMA_VERSION};

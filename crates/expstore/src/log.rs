@@ -176,6 +176,11 @@ mod tests {
             mean_response_ms: 1.0,
             throughput_tps: 1.0,
             peak_rss_mb: None,
+            binding: None,
+            binding_utilization: None,
+            next_constraint: None,
+            next_utilization: None,
+            utils: None,
         }
     }
 

@@ -77,6 +77,38 @@ pub struct Record {
     /// field existed; rendered only when present so legacy rows
     /// re-serialize byte-identically.
     pub peak_rss_mb: Option<f64>,
+    /// Binding constraint of the run — the most-utilized resource
+    /// (`"cpu"`, `"network"`, `"disk:<group>"`, ...), as attributed by
+    /// `sim::explain`. `None` on rows written before attribution
+    /// existed; rendered only when present.
+    pub binding: Option<String>,
+    /// The binding constraint's utilization in `[0, 1]`.
+    pub binding_utilization: Option<f64>,
+    /// The runner-up resource (what would bind after fixing the
+    /// first).
+    pub next_constraint: Option<String>,
+    /// The runner-up's utilization in `[0, 1]`.
+    pub next_utilization: Option<f64>,
+    /// Compact utilization stack for report rendering.
+    pub utils: Option<ResourceUtils>,
+}
+
+/// A row's compact per-resource utilization stack: the handful of
+/// numbers the HTML report draws. Coarser than the full
+/// `sim::explain` attribution — coupled resources (GEM, lock engine)
+/// and disk groups each fold to their maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUtils {
+    /// Hottest node's CPU utilization.
+    pub cpu: f64,
+    /// Coupling facility: max of GEM and lock-engine utilization.
+    pub coupling: f64,
+    /// Network utilization.
+    pub network: f64,
+    /// Hottest disk group's utilization.
+    pub disk: f64,
+    /// Hottest log disk's utilization.
+    pub log: f64,
 }
 
 impl Record {
@@ -128,6 +160,30 @@ impl Record {
         // it (legacy rows, non-Linux hosts) re-render byte-identically.
         if let Some(mb) = self.peak_rss_mb {
             doc.set("peak_rss_mb", Json::Num(mb));
+        }
+        if let Some(b) = &self.binding {
+            doc.set("binding", Json::Str(b.clone()));
+        }
+        if let Some(u) = self.binding_utilization {
+            doc.set("binding_utilization", Json::Num(u));
+        }
+        if let Some(n) = &self.next_constraint {
+            doc.set("next_constraint", Json::Str(n.clone()));
+        }
+        if let Some(u) = self.next_utilization {
+            doc.set("next_utilization", Json::Num(u));
+        }
+        if let Some(us) = &self.utils {
+            doc.set(
+                "utilizations",
+                Json::obj(vec![
+                    ("cpu", Json::Num(us.cpu)),
+                    ("coupling", Json::Num(us.coupling)),
+                    ("network", Json::Num(us.network)),
+                    ("disk", Json::Num(us.disk)),
+                    ("log", Json::Num(us.log)),
+                ]),
+            );
         }
         doc
     }
@@ -181,6 +237,26 @@ impl Record {
             mean_response_ms: num_field("mean_response_ms")?,
             throughput_tps: num_field("throughput_tps")?,
             peak_rss_mb: doc.get("peak_rss_mb").and_then(Json::as_f64),
+            binding: doc
+                .get("binding")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            binding_utilization: doc.get("binding_utilization").and_then(Json::as_f64),
+            next_constraint: doc
+                .get("next_constraint")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            next_utilization: doc.get("next_utilization").and_then(Json::as_f64),
+            utils: doc.get("utilizations").map(|us| {
+                let f = |key: &str| us.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                ResourceUtils {
+                    cpu: f("cpu"),
+                    coupling: f("coupling"),
+                    network: f("network"),
+                    disk: f("disk"),
+                    log: f("log"),
+                }
+            }),
         })
     }
 
@@ -230,6 +306,11 @@ mod tests {
             mean_response_ms: 71.7,
             throughput_tps: 197.0,
             peak_rss_mb: None,
+            binding: None,
+            binding_utilization: None,
+            next_constraint: None,
+            next_utilization: None,
+            utils: None,
         }
     }
 
@@ -256,6 +337,33 @@ mod tests {
         let back = Record::from_line(&line).expect("parses back");
         assert_eq!(back.peak_rss_mb, Some(512.25));
         assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn explain_trailer_round_trips_and_stays_optional() {
+        let mut rec = sample("fig41", 2, 9);
+        // Absent: no attribution keys in the rendered line, so rows
+        // written before the fields existed stay byte-stable.
+        let bare = rec.to_line();
+        assert!(!bare.contains("binding"));
+        assert!(!bare.contains("utilizations"));
+        rec.binding = Some("network".into());
+        rec.binding_utilization = Some(0.71);
+        rec.next_constraint = Some("cpu".into());
+        rec.next_utilization = Some(0.644);
+        rec.utils = Some(ResourceUtils {
+            cpu: 0.644,
+            coupling: 0.31,
+            network: 0.71,
+            disk: 0.39,
+            log: 0.1,
+        });
+        let line = rec.to_line();
+        let back = Record::from_line(&line).expect("parses back");
+        assert_eq!(back, rec);
+        assert_eq!(back.to_line(), line);
+        assert_eq!(back.binding.as_deref(), Some("network"));
+        assert_eq!(back.utils.unwrap().network, 0.71);
     }
 
     #[test]

@@ -47,6 +47,11 @@ fn record(run: &str, figure: &str, nodes: u16, wall: f64) -> Record {
         mean_response_ms: 71.25,
         throughput_tps: 196.5,
         peak_rss_mb: None,
+        binding: None,
+        binding_utilization: None,
+        next_constraint: None,
+        next_utilization: None,
+        utils: None,
     }
 }
 

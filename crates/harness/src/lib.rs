@@ -28,11 +28,15 @@
 
 pub mod alloc_track;
 pub mod artifact;
+pub mod knee;
 pub mod pool;
 pub mod rss;
+pub mod ticker;
 
 pub use alloc_track::CountingAlloc;
 pub use artifact::{fingerprint, write_artifact, SCHEMA};
+pub use knee::{run_knee, KneeOutcome};
+pub use ticker::Ticker;
 // The JSON value moved into the experiment store crate (the store is
 // the lowest persistence layer now); re-exported here so harness users
 // keep their `dbshare_harness::{json, Json}` paths.
@@ -120,24 +124,52 @@ impl Outcome {
     pub fn store_records(&self, provenance: &Provenance) -> Vec<Record> {
         self.results
             .iter()
-            .map(|res| Record {
-                run: self.run_id.clone(),
-                created_unix: self.created_unix.unwrap_or(0),
-                provenance: provenance.clone(),
-                figure: res.job.figure.clone(),
-                curve: res.job.curve.clone(),
-                nodes: res.job.nodes,
-                seed: res.job.spec.seed(),
-                cores: res.job.cores,
-                host_cpus: self.host_cpus,
-                config_fingerprint: fingerprint(&res.job.spec),
-                metric_fingerprint: res.report.metric_fingerprint(),
-                wall_secs: res.wall_secs,
-                events_processed: res.report.events_processed,
-                allocs_per_event: res.report.profile.allocs_per_event(),
-                mean_response_ms: res.report.mean_response_ms,
-                throughput_tps: res.report.throughput_tps,
-                peak_rss_mb: res.peak_rss_mb,
+            .map(|res| {
+                // Attribution is a pure function of the (deterministic)
+                // report, so persisting it adds no run-order noise.
+                let a = dbshare_sim::explain::attribute(&res.report);
+                let find = |name: &str| {
+                    a.resources
+                        .iter()
+                        .find(|r| r.name == name)
+                        .map_or(0.0, |r| r.utilization)
+                };
+                let disk_max = a
+                    .resources
+                    .iter()
+                    .filter(|r| r.name.starts_with("disk:"))
+                    .map(|r| r.utilization)
+                    .fold(0.0, f64::max);
+                Record {
+                    run: self.run_id.clone(),
+                    created_unix: self.created_unix.unwrap_or(0),
+                    provenance: provenance.clone(),
+                    figure: res.job.figure.clone(),
+                    curve: res.job.curve.clone(),
+                    nodes: res.job.nodes,
+                    seed: res.job.spec.seed(),
+                    cores: res.job.cores,
+                    host_cpus: self.host_cpus,
+                    config_fingerprint: fingerprint(&res.job.spec),
+                    metric_fingerprint: res.report.metric_fingerprint(),
+                    wall_secs: res.wall_secs,
+                    events_processed: res.report.events_processed,
+                    allocs_per_event: res.report.profile.allocs_per_event(),
+                    mean_response_ms: res.report.mean_response_ms,
+                    throughput_tps: res.report.throughput_tps,
+                    peak_rss_mb: res.peak_rss_mb,
+                    binding: Some(a.binding().name.clone()),
+                    binding_utilization: Some(a.binding().utilization),
+                    next_constraint: a.next().map(|n| n.name.clone()),
+                    next_utilization: a.next().map(|n| n.utilization),
+                    utils: Some(dbshare_expstore::ResourceUtils {
+                        cpu: find("cpu"),
+                        coupling: find("gem").max(find("lock-engine")),
+                        network: find("network"),
+                        disk: disk_max,
+                        log: find("log"),
+                    }),
+                }
             })
             .collect()
     }
@@ -162,6 +194,7 @@ pub struct Harness {
     progress: bool,
     observe: Observe,
     history: Option<History>,
+    ticker: Option<std::time::Duration>,
 }
 
 impl Default for Harness {
@@ -180,6 +213,7 @@ impl Harness {
             progress: false,
             observe: Observe::default(),
             history: None,
+            ticker: None,
         }
     }
 
@@ -210,6 +244,15 @@ impl Harness {
     /// run; results carry the collected [`Observations`] per job.
     pub fn observe(mut self, observe: Observe) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Enables the live progress ticker: one stderr line every
+    /// `every`, sampled by a dedicated thread from observer-only
+    /// gauges ([`ticker`]). Results stay bit-identical — the ticker
+    /// never writes into a simulation and prints nothing to stdout.
+    pub fn ticker(mut self, every: std::time::Duration) -> Self {
+        self.ticker = Some(every);
         self
     }
 
@@ -255,7 +298,14 @@ impl Harness {
             .ok()
             .map(|d| d.as_secs());
         let started = Instant::now();
-        let results = pool::run_jobs(jobs, self.workers, self.progress);
+        let ticker = self.ticker.map(|every| Ticker::spawn(every, jobs.len()));
+        let results = pool::run_jobs_ticked(
+            jobs,
+            self.workers,
+            self.progress,
+            ticker.as_ref().map(|t| t.state().as_ref()),
+        );
+        drop(ticker); // stop and join the sampler before reporting
         let total_wall_secs = started.elapsed().as_secs_f64();
 
         // Fold the flat results back into figures: the pool preserves

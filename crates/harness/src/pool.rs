@@ -9,6 +9,7 @@
 //! which makes the returned vector identical for any worker count.
 
 use crate::alloc_track;
+use crate::ticker::TickerState;
 use dbshare_sim::experiments::RunSpec;
 use dbshare_sim::{Observations, Observe, RunReport};
 use std::collections::VecDeque;
@@ -63,6 +64,21 @@ pub struct JobResult {
 /// line per finished job goes to stderr (stdout is untouched, so
 /// captured figure output stays byte-identical to a serial run).
 pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult> {
+    run_jobs_ticked(jobs, workers, progress, None)
+}
+
+/// [`run_jobs`] with an optional live-progress registry: when `ticker`
+/// is set, each worker registers a [`ProgressGauge`] per job for the
+/// sampling thread to read and retires it when the job finishes. The
+/// gauge is observer-only, so results stay bit-identical either way.
+///
+/// [`ProgressGauge`]: dbshare_sim::ProgressGauge
+pub fn run_jobs_ticked(
+    jobs: Vec<Job>,
+    workers: usize,
+    progress: bool,
+    ticker: Option<&TickerState>,
+) -> Vec<JobResult> {
     let total = jobs.len();
     if total == 0 {
         return Vec::new();
@@ -85,13 +101,19 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize, progress: bool) -> Vec<JobResult
                 // installed `CountingAlloc`).
                 let allocs0 = alloc_track::thread_allocs();
                 let bytes0 = alloc_track::thread_alloc_bytes();
+                let gauge = ticker.map(|t| t.register(format!("{} n={}", job.curve, job.nodes)));
                 let start = Instant::now();
-                let (mut report, observations) = if job.observe.enabled() || job.cores > 1 {
-                    job.spec.execute_with(job.cores, job.observe)
-                } else {
-                    (job.spec.execute(), Observations::default())
-                };
+                let (mut report, observations) =
+                    if gauge.is_some() || job.observe.enabled() || job.cores > 1 {
+                        job.spec
+                            .execute_instrumented(job.cores, job.observe, gauge.clone())
+                    } else {
+                        (job.spec.execute(), Observations::default())
+                    };
                 let wall_secs = start.elapsed().as_secs_f64();
+                if let (Some(t), Some(gauge)) = (ticker, &gauge) {
+                    t.finish(gauge, report.events_processed);
+                }
                 report.profile.host_allocs = alloc_track::thread_allocs() - allocs0;
                 report.profile.host_alloc_bytes = alloc_track::thread_alloc_bytes() - bytes0;
                 let result = JobResult {

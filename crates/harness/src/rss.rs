@@ -31,6 +31,17 @@ pub fn peak_rss_mb() -> Option<f64> {
     }
 }
 
+/// Renders an optional RSS sample for tables: the value in MiB with
+/// one decimal, or `"n/a"` when the platform exposed none. A missing
+/// sample must never render as `0` — zero is a claim, `n/a` is the
+/// truth off Linux.
+pub fn format_mb(mb: Option<f64>) -> String {
+    match mb {
+        Some(mb) => format!("{mb:.1}"),
+        None => "n/a".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +51,11 @@ mod tests {
     fn peak_rss_is_positive_on_linux() {
         let mb = peak_rss_mb().expect("VmHWM present on Linux");
         assert!(mb > 0.0, "{mb}");
+    }
+
+    #[test]
+    fn missing_sample_formats_as_na_not_zero() {
+        assert_eq!(format_mb(None), "n/a");
+        assert_eq!(format_mb(Some(812.04)), "812.0");
     }
 }

@@ -150,6 +150,13 @@ pub struct Engine {
     pub(crate) last_commit_at: SimTime,
     /// When the watchdog last fired (suppresses re-firing every scan).
     pub(crate) last_watchdog: SimTime,
+    /// Live progress gauge, observer-only (the harness ticker samples
+    /// it). `None` keeps the event loop on the exact unobserved path.
+    pub(crate) progress: Option<std::sync::Arc<crate::progress::ProgressGauge>>,
+    /// Watches over this run's pipeline lanes (`cores > 1` only),
+    /// labelled by stage — read by the watchdog dump and mirrored into
+    /// the progress gauge.
+    pub(crate) pipe_watches: Vec<(&'static str, desim::pipe::LaneWatch)>,
 }
 
 impl Engine {
@@ -244,6 +251,8 @@ impl Engine {
             timeline: None,
             last_commit_at: SimTime::ZERO,
             last_watchdog: SimTime::ZERO,
+            progress: None,
+            pipe_watches: Vec::new(),
         })
     }
 
@@ -258,6 +267,15 @@ impl Engine {
     /// one are clamped). Results are bit-identical at every setting.
     pub fn set_cores(&mut self, cores: u32) {
         self.cfg.run.cores = cores.max(1);
+    }
+
+    /// Attaches a live progress gauge. The engine publishes event
+    /// count, simulated time, and commit count into it with relaxed
+    /// stores once every few thousand events and never reads it back,
+    /// so an attached gauge cannot perturb the simulation (reports are
+    /// bit-identical with and without one).
+    pub fn set_progress(&mut self, gauge: std::sync::Arc<crate::progress::ProgressGauge>) {
+        self.progress = Some(gauge);
     }
 
     /// The event loop shared by [`run`](Engine::run) and
@@ -286,6 +304,10 @@ impl Engine {
             .run
             .max_sim_secs
             .map(|s| SimTime::ZERO + SimDuration::from_secs_f64(s));
+        if let Some(gauge) = &self.progress {
+            gauge.set_target(self.cfg.run.warmup_txns + self.cfg.run.measured_txns);
+        }
+        let mut progress_tick: u64 = 0;
         while !self.done {
             let Some((now, ev)) = self.cal.pop() else {
                 break;
@@ -297,8 +319,27 @@ impl Engine {
                 }
             }
             self.on_event(now, ev);
+            // Observer-only telemetry: a handful of relaxed stores once
+            // per 4096 events, and nothing at all without a gauge.
+            if let Some(gauge) = &self.progress {
+                progress_tick += 1;
+                if progress_tick & 0xFFF == 0 {
+                    gauge.publish(
+                        self.cal.total_scheduled(),
+                        now.as_nanos(),
+                        self.counters.committed,
+                    );
+                }
+            }
         }
         let now = self.cal.now();
+        if let Some(gauge) = &self.progress {
+            gauge.publish(
+                self.cal.total_scheduled(),
+                now.as_nanos(),
+                self.counters.committed,
+            );
+        }
         if std::env::var_os("DBSHARE_DEBUG_STUCK").is_some() {
             self.dump_stuck(now);
         }

@@ -226,9 +226,14 @@ impl Engine {
         // The trace stage only exists when there is a sink to feed;
         // otherwise a `cores >= 4` request clamps to three stages.
         let stage_trace = cores >= 4 && self.tracer.is_some();
+        self.pipe_watches.clear();
         std::thread::scope(|s| {
             let arrival_handle = if stage_source {
-                let (tx, rx) = pipe::lane(ARRIVAL_BATCH, ARRIVAL_DEPTH);
+                let (mut tx, rx) = pipe::lane(ARRIVAL_BATCH, ARRIVAL_DEPTH);
+                // Observer handle taken before the producer thread owns
+                // the sender: the watchdog dump and the progress ticker
+                // read it without touching the lane.
+                self.pipe_watches.push(("arrival", tx.watch()));
                 let (spare_tx, spare_rx) = pipe::channel(SPARE_DEPTH);
                 let workload = self.workload.take().expect("workload installed");
                 let arrival_rng = std::mem::replace(&mut self.arrival_rng, Rng::seed_from_u64(0));
@@ -260,13 +265,19 @@ impl Engine {
                 None
             };
             let trace_handle = if stage_trace {
-                let (tx, rx) = pipe::lane(TRACE_BATCH, TRACE_DEPTH);
+                let (mut tx, rx) = pipe::lane(TRACE_BATCH, TRACE_DEPTH);
+                self.pipe_watches.push(("trace", tx.watch()));
                 let sink = self.tracer.take().expect("tracing enabled");
                 self.trace_stage = Some(TraceStage { tx });
                 Some(s.spawn(move || consume_trace(sink, rx)))
             } else {
                 None
             };
+            if let Some(gauge) = &self.progress {
+                for &(label, ref watch) in &self.pipe_watches {
+                    gauge.add_lane(label, watch.clone());
+                }
+            }
 
             let now = self.run_loop();
 

@@ -5,6 +5,7 @@
 //! [`RunReport`]s. The `repro` binary in `dbshare-bench` prints them;
 //! integration tests assert the qualitative shapes the paper reports.
 
+use crate::progress::ProgressGauge;
 use crate::{Engine, Observations, Observe, RunReport};
 use dbshare_model::{
     CouplingMode, LogStorage, PageTransferMode, RoutingStrategy, StorageAllocation, SystemConfig,
@@ -130,9 +131,25 @@ impl RunSpec {
     /// event and fold order; see the engine's `parallel` module) —
     /// only wall-clock changes.
     pub fn execute_with(&self, cores: u32, observe: Observe) -> (RunReport, Observations) {
+        self.execute_instrumented(cores, observe, None)
+    }
+
+    /// Executes the run on `cores` host threads, optionally publishing
+    /// coarse progress into `progress` for a sampling thread to read.
+    /// The gauge is observer-only: the report and observations are
+    /// bit-identical with and without it, at every `cores` value.
+    pub fn execute_instrumented(
+        &self,
+        cores: u32,
+        observe: Observe,
+        progress: Option<std::sync::Arc<ProgressGauge>>,
+    ) -> (RunReport, Observations) {
         let mut engine = self.engine();
         engine.set_cores(cores);
         engine.set_observe(observe);
+        if let Some(gauge) = progress {
+            engine.set_progress(gauge);
+        }
         engine.run_observed()
     }
 
@@ -394,43 +411,84 @@ pub const SCALE_SMOKE_NODES: &[u16] = &[16, 64];
 /// Pre-allocation cap used by every scale preset.
 const SCALE_BUDGET: usize = 8_192;
 
-fn scale_grid(nodes: &[u16], accounts: u64, measured_per_node: u64) -> Vec<CurveGrid> {
-    let spec = |coupling: CouplingMode| {
-        move |n: u16| {
-            RunSpec::Scale(ScaleRun {
-                nodes: n,
-                accounts,
-                coupling,
-                tps_per_node: 100.0,
-                page_metadata_budget: SCALE_BUDGET,
-                run: RunLength {
-                    // Work scales with the system so per-node load (and
-                    // the contention picture) is comparable across the
-                    // axis.
-                    warmup: n as u64 * 500,
-                    measured: n as u64 * measured_per_node,
-                },
-                seed: 0xDB5_4A6E,
-            })
-        }
+/// Geometry and run length of one `--scale` family. The fixed grids
+/// and the `--knee` bisection both build specs through
+/// [`ScalePreset::spec`], so a knee probe at node count `n` is exactly
+/// the grid's point at `n` — same config fingerprint, comparable
+/// history rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePreset {
+    /// Total accounts in the database.
+    pub accounts: u64,
+    /// Measured transactions per node.
+    pub measured_per_node: u64,
+    /// Node axis of the fixed grid.
+    pub nodes: &'static [u16],
+}
+
+impl ScalePreset {
+    /// The `--scale smoke` preset: a CI-sized miniature (≤64 nodes,
+    /// 100,000 accounts) exercising the same code paths as the full
+    /// sweep.
+    pub const SMOKE: ScalePreset = ScalePreset {
+        accounts: 100_000,
+        measured_per_node: 1_000,
+        nodes: SCALE_SMOKE_NODES,
     };
-    vec![
-        grid_curve("GEM/NOFORCE", nodes, spec(CouplingMode::GemLocking)),
-        grid_curve("PCL/NOFORCE", nodes, spec(CouplingMode::Pcl)),
-    ]
+
+    /// The `--scale full` preset: up to 200 nodes against one million
+    /// accounts, 25,000 measured transactions per node (5 million at
+    /// the endpoint — beyond 10^8 calendar events for the 200-node GEM
+    /// run).
+    pub const FULL: ScalePreset = ScalePreset {
+        accounts: 1_000_000,
+        measured_per_node: 25_000,
+        nodes: SCALE_FULL_NODES,
+    };
+
+    /// The two curves every scale figure sweeps.
+    pub const CURVES: [(&'static str, CouplingMode); 2] = [
+        ("GEM/NOFORCE", CouplingMode::GemLocking),
+        ("PCL/NOFORCE", CouplingMode::Pcl),
+    ];
+
+    /// The spec at node count `n` for `coupling` — identical to the
+    /// corresponding fixed-grid point.
+    pub fn spec(&self, coupling: CouplingMode, n: u16) -> RunSpec {
+        RunSpec::Scale(ScaleRun {
+            nodes: n,
+            accounts: self.accounts,
+            coupling,
+            tps_per_node: 100.0,
+            page_metadata_budget: SCALE_BUDGET,
+            run: RunLength {
+                // Work scales with the system so per-node load (and
+                // the contention picture) is comparable across the
+                // axis.
+                warmup: n as u64 * 500,
+                measured: n as u64 * self.measured_per_node,
+            },
+            seed: 0xDB5_4A6E,
+        })
+    }
+
+    /// The preset's fixed grid (what `--scale` runs).
+    pub fn grid(&self) -> Vec<CurveGrid> {
+        Self::CURVES
+            .iter()
+            .map(|&(label, coupling)| grid_curve(label, self.nodes, |n| self.spec(coupling, n)))
+            .collect()
+    }
 }
 
-/// The `--scale full` grid: up to 200 nodes against one million
-/// accounts, 25,000 measured transactions per node (5 million at the
-/// endpoint — beyond 10^8 calendar events for the 200-node GEM run).
+/// The `--scale full` grid ([`ScalePreset::FULL`]).
 pub fn scale_full_grid() -> Vec<CurveGrid> {
-    scale_grid(SCALE_FULL_NODES, 1_000_000, 25_000)
+    ScalePreset::FULL.grid()
 }
 
-/// The `--scale smoke` grid: a CI-sized miniature (≤64 nodes, 100,000
-/// accounts) exercising the same code paths.
+/// The `--scale smoke` grid ([`ScalePreset::SMOKE`]).
 pub fn scale_smoke_grid() -> Vec<CurveGrid> {
-    scale_grid(SCALE_SMOKE_NODES, 100_000, 1_000)
+    ScalePreset::SMOKE.grid()
 }
 
 fn disks_of(s: &StorageAllocation) -> u32 {

@@ -34,8 +34,11 @@ mod engine;
 mod metrics;
 
 pub mod experiments;
+pub mod explain;
 pub mod observe;
+pub mod progress;
 
 pub use engine::Engine;
 pub use metrics::{RunProfile, RunReport};
 pub use observe::{Observations, Observe, TimelineWindow};
+pub use progress::{ProgressGauge, ProgressSnapshot};

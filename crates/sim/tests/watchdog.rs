@@ -17,6 +17,12 @@ fn engine(watchdog_secs: Option<f64>) -> Engine {
     Engine::new(cfg, Box::new(wl)).expect("valid configuration")
 }
 
+fn engine_at_cores(watchdog_secs: Option<f64>, cores: u32) -> Engine {
+    let mut e = engine(watchdog_secs);
+    e.set_cores(cores);
+    e
+}
+
 #[test]
 fn disabled_watchdog_changes_nothing() {
     let a = engine(None).run();
@@ -53,5 +59,30 @@ fn aggressive_watchdog_fires_and_traces_without_perturbing_results() {
     assert_eq!(
         format!("{} {}", report.mean_response_ms, report.throughput_tps),
         format!("{} {}", baseline.mean_response_ms, baseline.throughput_tps),
+    );
+}
+
+/// Under the pipeline engine the dump additionally reports lane
+/// occupancy and calendar depth (stderr); firing it there must leave
+/// the report bit-identical to the serial engine's.
+#[test]
+fn watchdog_on_pipeline_engine_dumps_without_perturbing_results() {
+    let baseline = engine(None).run();
+    let mut traced = engine_at_cores(Some(1e-9), 2);
+    traced.set_observe(Observe {
+        timeline_every: None,
+        trace: true,
+    });
+    let (report, obs) = traced.run_observed();
+    let barks = obs
+        .trace
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::Watchdog)
+        .count();
+    assert!(barks > 0, "aggressive watchdog never fired at cores=2");
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{baseline:?}"),
+        "watchdog dump at cores=2 perturbed the report"
     );
 }
